@@ -1,0 +1,84 @@
+"""Ablation benches: decomposing the Quadrics advantage mechanism by
+mechanism (the paper's future-work questions, answerable in simulation).
+"""
+
+from conftest import emit
+
+from repro.core.ablations import (
+    eager_threshold_ablation,
+    independent_progress_ablation,
+    registration_cache_ablation,
+    rendezvous_protocol_ablation,
+)
+from repro.core.figures import FigureData
+from repro.core.tables import render_series_table
+
+
+def test_ablation_independent_progress(benchmark, quick):
+    nodes = 8 if quick else 16
+    result = benchmark.pedantic(
+        lambda: independent_progress_ablation(nodes=nodes),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"Membrane scaling efficiency at {nodes} nodes (1 PPN):")
+    for key in ("ib", "ib_progress_thread", "elan"):
+        print(f"  {key:<22} {100 * result[key]:6.1f}%")
+    print(
+        f"  progress thread recovers "
+        f"{100 * result['gap_recovered_fraction']:.0f}% of the Elan gap"
+    )
+    # Independent progress alone recovers a meaningful share of the gap,
+    # but not all of it (offload/host overhead remains).
+    assert result["ib"] < result["ib_progress_thread"] <= result["elan"] + 0.02
+    assert result["gap_recovered_fraction"] > 0.25
+
+
+def test_ablation_eager_threshold(benchmark, quick):
+    result = benchmark.pedantic(
+        lambda: eager_threshold_ablation(), rounds=1, iterations=1
+    )
+    fig = FigureData(
+        exp_id="ablation_eager",
+        title="Ablation: MVAPICH eager threshold vs latency and memory",
+        series=result["latency"] + [result["memory"]],
+    )
+    emit(fig)
+    lat = {s.label: s for s in result["latency"]}
+    # A larger threshold removes the 2 KB jump...
+    small = lat["eager <= 1024 B"]
+    large = lat["eager <= 16384 B"]
+    assert large.at(2048.0) < small.at(2048.0)
+    # ...but buffer memory per process grows with the threshold.
+    mem = result["memory"]
+    assert mem.y[-1] > 4 * mem.y[0]
+
+
+def test_ablation_rendezvous_protocol(benchmark, quick):
+    result = benchmark.pedantic(
+        lambda: rendezvous_protocol_ablation(), rounds=1, iterations=1
+    )
+    print()
+    print("Sender final-wait after isend(1 MiB) + 4 ms compute:")
+    for key in ("ib_write", "ib_read", "ib_write_thread", "elan"):
+        print(f"  {key:<18} {result[key]:9.1f} us")
+    # The 0.9.2 write protocol leaves the whole transfer for the wait;
+    # read rendezvous and the progress thread free the sender; Quadrics
+    # needs neither workaround.
+    assert result["ib_write"] > 800.0
+    assert result["ib_read"] < 0.2 * result["ib_write"]
+    assert result["ib_write_thread"] < 0.5 * result["ib_write"]
+    assert result["elan"] < 0.2 * result["ib_write"]
+
+
+def test_ablation_registration_cache(benchmark, quick):
+    series = benchmark.pedantic(
+        lambda: registration_cache_ablation(), rounds=1, iterations=1
+    )
+    print()
+    print(render_series_table([series], title=series.label, x_format="{:.0f}"))
+    # The 4 MB dip exists at the 0.9.2-era cache size and disappears once
+    # the cache holds both ping-pong buffers.
+    assert series.y[0] < 0.9
+    assert series.y[-1] > 0.97

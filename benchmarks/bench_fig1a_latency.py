@@ -1,0 +1,19 @@
+"""Figure 1(a): ping-pong latency vs message size."""
+
+from conftest import emit
+
+from repro.core.figures import fig1a_latency
+from repro.units import KiB
+
+
+def test_fig1a_latency(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig1a_latency(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    by = {s.label: s for s in fig.series}
+    elan, ib = by["Quadrics Elan-4"], by["4X InfiniBand"]
+    # Elan-4 average latency ~ half of InfiniBand's.
+    assert 0.35 <= elan.at(0.0) / ib.at(0.0) <= 0.65
+    # The IB eager->rendezvous jump between 1 KB and 2 KB.
+    assert ib.at(float(2 * KiB)) / ib.at(float(1 * KiB)) > 1.5

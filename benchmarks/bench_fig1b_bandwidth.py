@@ -1,0 +1,25 @@
+"""Figure 1(b): ping-pong and streaming bandwidth vs message size."""
+
+from conftest import emit
+
+from repro.core.figures import fig1b_bandwidth
+from repro.units import KiB, MiB
+
+
+def test_fig1b_bandwidth(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig1b_bandwidth(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    by = {s.label: s for s in fig.series}
+    elan = by["Quadrics Elan-4 ping-pong"]
+    ib = by["4X InfiniBand ping-pong"]
+    # 8 KB anchors: ~552 vs ~249 MB/s.
+    assert abs(elan.at(float(8 * KiB)) - 552) / 552 < 0.25
+    assert abs(ib.at(float(8 * KiB)) - 249) / 249 < 0.25
+    if not quick:
+        # Similar asymptotes at 1 MB; IB-only dip at 4 MB.
+        e1, i1 = elan.at(float(1 * MiB)), ib.at(float(1 * MiB))
+        assert abs(e1 - i1) / i1 < 0.15
+        assert ib.at(float(4 * MiB)) < 0.9 * i1
+        assert elan.at(float(4 * MiB)) >= e1

@@ -1,0 +1,19 @@
+"""Figure 1(c): Elan-4 to InfiniBand bandwidth ratio vs message size."""
+
+from conftest import emit
+
+from repro.core.figures import fig1c_ratio
+
+
+def test_fig1c_ratio(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig1c_ratio(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    streaming = next(s for s in fig.series if "streaming" in s.label)
+    pingpong = next(s for s in fig.series if "ping-pong" in s.label)
+    # Over a 5x advantage at small sizes with the streaming benchmark.
+    assert max(streaming.y[:4]) > 5.0
+    # Converging toward parity at the largest sizes.
+    assert streaming.y[-1] < 1.6
+    assert pingpong.y[-1] < 1.7

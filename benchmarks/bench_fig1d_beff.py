@@ -1,0 +1,20 @@
+"""Figure 1(d): effective bandwidth (b_eff) per process vs process count."""
+
+from conftest import emit
+
+from repro.core.figures import fig1d_beff
+
+
+def test_fig1d_beff(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig1d_beff(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    by = {s.label: s for s in fig.series}
+    elan, ib = by["Quadrics Elan-4"], by["4X InfiniBand"]
+    # Elan sits above IB at every machine size.
+    for x in elan.x:
+        assert elan.at(x) > ib.at(x)
+    # Neither is flat (an ideal interconnect would be).
+    assert elan.y[-1] < elan.y[0]
+    assert ib.y[-1] < ib.y[0]

@@ -1,0 +1,28 @@
+"""Figure 2: LAMMPS LJS scaled study — time and scaling efficiency."""
+
+from conftest import emit
+
+from repro.core.figures import fig2_lammps_ljs
+
+
+def test_fig2_lammps_ljs(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig2_lammps_ljs(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    eff = {
+        s.label: s
+        for s in fig.series
+        if s.y_name.startswith("scaling")
+    }
+    last = lambda s: s.y[-1]
+    e1 = eff["Quadrics Elan-4 1 PPN"]
+    e2 = eff["Quadrics Elan-4 2 PPN"]
+    i1 = eff["4X InfiniBand 1 PPN"]
+    i2 = eff["4X InfiniBand 2 PPN"]
+    # 1 PPN outperforms 2 PPN for both networks.
+    assert last(e1) > last(e2)
+    assert last(i1) > last(i2)
+    # Elan ahead at 1 PPN; the 2 PPN margin is at least as wide.
+    assert last(e1) > last(i1)
+    assert (last(e2) - last(i2)) >= (last(e1) - last(i1)) - 1.0

@@ -1,0 +1,31 @@
+"""Figure 3: LAMMPS membrane scaled study — time and scaling efficiency."""
+
+from conftest import emit
+
+from repro.core.figures import fig3_lammps_membrane
+
+
+def test_fig3_lammps_membrane(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig3_lammps_membrane(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    eff = {
+        s.label: s for s in fig.series if s.y_name.startswith("scaling")
+    }
+    last = lambda s: s.y[-1]
+    e1 = last(eff["Quadrics Elan-4 1 PPN"])
+    e2 = last(eff["Quadrics Elan-4 2 PPN"])
+    i1 = last(eff["4X InfiniBand 1 PPN"])
+    i2 = last(eff["4X InfiniBand 2 PPN"])
+    # Strict ordering, as in the paper's Figure 3(b).
+    assert e1 > e2 > i1 > i2
+    if not quick:
+        # Paper values at 32 nodes: ~93/91 (Elan) and ~84/77 (IB), +-6.
+        assert abs(e1 - 93) <= 6
+        assert abs(e2 - 91) <= 6
+        assert abs(i1 - 84) <= 6
+        assert abs(i2 - 77) <= 6
+        # Elan's PPN curves nearly coincide; IB's gap far wider.
+        assert (e1 - e2) < 5
+        assert (i1 - i2) > (e1 - e2)

@@ -1,0 +1,31 @@
+"""Figure 4: Sweep3D 150^3 — grind time and scaling efficiency."""
+
+from conftest import emit
+
+from repro.core.figures import fig4_sweep3d
+
+
+def test_fig4_sweep3d(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig4_sweep3d(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    grind = {
+        s.label: s for s in fig.series if "grind" in s.y_name
+    }
+    eff = {
+        s.label: s for s in fig.series if s.y_name.startswith("scaling")
+    }
+    for label, s in grind.items():
+        # Fixed-size study: grind time falls steeply with process count.
+        assert s.y[-1] < s.y[0] / 3, label
+    e = eff["Quadrics Elan-4 1 PPN"]
+    i = eff["4X InfiniBand 1 PPN"]
+    # Superlinear at 4 processes (cache effect), both networks.
+    assert e.at(4.0) > 100.0
+    assert i.at(4.0) > 100.0
+    # Elan's significant advantage at 9 and 16 nodes (9 only in quick
+    # mode, which stops at 9 nodes).
+    for nodes in (9.0, 16.0):
+        if nodes in e.x:
+            assert e.at(nodes) > i.at(nodes)

@@ -1,0 +1,24 @@
+"""Figure 5: Sweep3D input sets on InfiniBand, normalized at 4 processes."""
+
+from conftest import emit
+
+from repro.core.figures import fig5_sweep3d_inputs
+
+
+def test_fig5_sweep3d_inputs(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig5_sweep3d_inputs(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    for s in fig.series:
+        # Normalized at the first point (4 processes).
+        assert s.y[0] == 100.0
+        # The trend is a smooth decline: no 16->25-style anomaly.
+        for a, b in zip(s.y, s.y[1:]):
+            assert b <= a * 1.05, s.label
+    if not quick:
+        # Larger grids (more compute per process) scale better.
+        by = {s.label: s for s in fig.series}
+        assert by["200^3 grid (InfiniBand)"].y[-1] > by[
+            "100^3 grid (InfiniBand)"
+        ].y[-1]

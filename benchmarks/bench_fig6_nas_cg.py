@@ -1,0 +1,26 @@
+"""Figure 6: NAS CG class A — MOps/s/process and scaling efficiency."""
+
+from conftest import emit
+
+from repro.core.figures import fig6_nas_cg
+
+
+def test_fig6_nas_cg(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig6_nas_cg(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    mops = {s.label: s for s in fig.series if "MOps" in s.y_name}
+    eff = {s.label: s for s in fig.series if s.y_name.startswith("scaling")}
+    e = eff["Quadrics Elan-4 1 PPN"]
+    i = eff["4X InfiniBand 1 PPN"]
+    # Communication-dominated: both drop in efficiency as nodes grow.
+    assert e.y[-1] < 95.0
+    assert i.y[-1] < 90.0
+    # Quadrics maintains a distinct advantage that grows with node count.
+    gaps = [e.y[k] - i.y[k] for k in range(len(e.y))]
+    assert gaps[-1] > 0.0
+    assert gaps[-1] >= max(gaps[:2])
+    # Per-process MOps decline (the Figure 6(a) shape).
+    for s in mops.values():
+        assert s.y[-1] < s.y[0]

@@ -1,0 +1,29 @@
+"""Figure 7: network cost per port vs network size (4 configurations)."""
+
+from conftest import emit
+
+from repro.core.figures import fig7_cost
+from repro.cost import system_cost_gap
+
+
+def test_fig7_cost(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig7_cost(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    by = {s.label: s for s in fig.series}
+    elan = by["Quadrics Elan-4"]
+    i96 = by["4X InfiniBand (96-port switches)"]
+    i24 = by["4X InfiniBand (24+288-port switches)"]
+    # At every size both curves exist for, the new-generation combination
+    # is far cheaper than Elan-4.
+    for x in i24.x:
+        if x in elan.x:
+            assert i24.at(x) < elan.at(x)
+    if not quick:
+        # At scale: Elan ~ parity with IB-96; ~51% total-system gap vs
+        # the 24+288-port configuration.
+        assert abs(elan.at(1024.0) - i96.at(1024.0)) / i96.at(1024.0) < 0.10
+        gaps = system_cost_gap(1024)
+        assert abs(gaps["vs_96_port"]) < 0.10
+        assert 0.40 <= gaps["vs_24_288"] <= 0.60

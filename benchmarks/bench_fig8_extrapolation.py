@@ -1,0 +1,25 @@
+"""Figure 8: LAMMPS membrane scaling extrapolated to 8192 processors."""
+
+from conftest import emit
+
+from repro.core.figures import fig8_extrapolation
+
+
+def test_fig8_extrapolation(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: fig8_extrapolation(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    by = {s.label: s for s in fig.series}
+    elan = by["Quadrics Elan-4"]
+    ib = by["4X InfiniBand"]
+    # A substantial efficiency gap opens by 1024 nodes and keeps growing.
+    gap_1024 = elan.at(1024.0) - ib.at(1024.0)
+    gap_8192 = elan.at(8192.0) - ib.at(8192.0)
+    assert gap_1024 > 8.0
+    assert gap_8192 >= gap_1024
+    # Extrapolated *time* curves rise accordingly (scaled-size study).
+    elan_t = by["Quadrics Elan-4 time"]
+    ib_t = by["4X InfiniBand time"]
+    assert ib_t.at(8192.0) > ib_t.at(32.0)
+    assert ib_t.at(8192.0) > elan_t.at(8192.0)

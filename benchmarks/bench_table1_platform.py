@@ -1,0 +1,15 @@
+"""Table 1: the evaluation platform description."""
+
+from conftest import emit
+
+from repro.core.figures import table1_platform
+
+
+def test_table1_platform(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: table1_platform(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    text = fig.render()
+    assert "Dell PowerEdge 1750" in text
+    assert "Voltaire" in text and "Quadrics" in text

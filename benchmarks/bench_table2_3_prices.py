@@ -1,0 +1,18 @@
+"""Tables 2 and 3: InfiniBand and Quadrics list prices."""
+
+from conftest import emit
+
+from repro.core.figures import table2_3_prices
+
+
+def test_table2_3_prices(benchmark, quick):
+    fig = benchmark.pedantic(
+        lambda: table2_3_prices(quick=quick), rounds=1, iterations=1
+    )
+    emit(fig)
+    text = fig.render()
+    # Paper-legible values present verbatim.
+    for value in ("$995", "$175", "$93,000", "$110,500", "$1,800", "$185"):
+        assert value in text, value
+    # OCR-lost values are flagged.
+    assert "estimated" in text

@@ -1,0 +1,29 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at full
+scale (pytest-benchmark times the regeneration), prints the series the
+paper reports, and asserts the headline shape so a bench run doubles as
+an acceptance pass.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink sweeps (CI smoke mode); the default
+regenerates everything at paper scale.
+"""
+
+import os
+
+import pytest
+
+
+def is_quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return is_quick()
+
+
+def emit(fig) -> None:
+    """Print a regenerated figure's rows (visible with -s / in reports)."""
+    print()
+    print(fig.render())

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Interconnect cost analysis — the paper's Section 5 and Figure 7.
+
+Prices Quadrics Elan-4 and three InfiniBand switch generations across
+network sizes, then answers the paper's question: with $2,500 compute
+nodes, what does the *system* cost premium of Elan-4 look like?
+
+Run:  python examples/cost_analysis.py
+"""
+
+from repro.cost import (
+    CONFIGS,
+    NODE_PRICE,
+    cost_curves,
+    system_cost_gap,
+)
+from repro.core import render_series_table
+
+
+def main():
+    sizes = [16, 32, 64, 96, 128, 256, 512, 1024]
+    print(
+        render_series_table(
+            cost_curves(sizes),
+            title="Network cost per port ($)",
+            y_format="{:,.0f}",
+        )
+    )
+
+    print(f"\nTotal system cost per node (network + ${NODE_PRICE:,.0f} node):")
+    header = f"{'nodes':>6}" + "".join(f"{name[:28]:>30}" for name in CONFIGS)
+    print(header)
+    for n in (64, 256, 1024):
+        row = f"{n:>6}"
+        for fn in CONFIGS.values():
+            try:
+                row += f"{fn(n).system_per_node():>30,.0f}"
+            except Exception:
+                row += f"{'-':>30}"
+        print(row)
+
+    print("\nElan-4 total-system premium at scale:")
+    for n in (256, 1024):
+        gaps = system_cost_gap(n)
+        print(
+            f"  {n:5d} nodes: {gaps['vs_96_port'] * 100:+6.1f}% vs 96-port IB, "
+            f"{gaps['vs_24_288'] * 100:+6.1f}% vs 24+288-port IB"
+        )
+    print(
+        "\nThe paper's conclusion reproduced: roughly cost-competitive "
+        "against the original 96-port switches, but the newer switch "
+        "generation makes InfiniBand ~50% cheaper at the system level — "
+        "'a dramatic hurdle to overcome'."
+    )
+
+
+if __name__ == "__main__":
+    main()

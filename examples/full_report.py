@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Regenerate the entire paper — every table and figure — in one run.
+
+Equivalent to the installed ``repro-report`` console script.  Expect
+roughly 20-40 minutes at paper scale, or pass ``--quick`` for a smoke
+pass in about two minutes.
+
+Run:  python examples/full_report.py --quick
+      python examples/full_report.py > report.txt
+"""
+
+import sys
+
+from repro.core.report import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

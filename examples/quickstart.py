@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: run one MPI program on both simulated interconnects.
+
+A simulated MPI program is a generator function taking a per-rank handle;
+``yield from`` each MPI call.  This example measures an 8 KB ping-pong and
+a 4-rank allreduce on 4X InfiniBand and Quadrics Elan-4 and prints the
+head-to-head numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Machine
+from repro.mpi import NETWORK_LABELS
+
+
+def pingpong(mpi):
+    """Classic two-rank ping-pong; rank 0 returns the mean latency."""
+    size, reps = 8192, 100
+    t0 = mpi.now
+    for _ in range(reps):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=size, buf="sbuf")
+            yield from mpi.recv(source=1, size=size, buf="rbuf")
+        elif mpi.rank == 1:
+            yield from mpi.recv(source=0, size=size, buf="rbuf")
+            yield from mpi.send(dest=0, size=size, buf="sbuf")
+    if mpi.rank == 0:
+        return (mpi.now - t0) / (2 * reps)
+    return None
+
+
+def allreduce_loop(mpi):
+    """Latency-bound collectives: 50 8-byte allreduces."""
+    t0 = mpi.now
+    for _ in range(50):
+        yield from mpi.allreduce(8)
+    return (mpi.now - t0) / 50
+
+
+def main():
+    print("8 KB ping-pong (2 nodes):")
+    for network in ("ib", "elan"):
+        machine = Machine(network, n_nodes=2)
+        result = machine.run(pingpong)
+        latency = result.values[0]
+        print(
+            f"  {NETWORK_LABELS[network]:<18} latency {latency:6.2f} us   "
+            f"bandwidth {8192 / latency:6.1f} MB/s"
+        )
+
+    print("\n8-byte allreduce (8 nodes, 1 PPN):")
+    for network in ("ib", "elan"):
+        machine = Machine(network, n_nodes=8)
+        result = machine.run(allreduce_loop)
+        print(
+            f"  {NETWORK_LABELS[network]:<18} {max(result.values):6.2f} us "
+            "per allreduce"
+        )
+
+    print("\nPer-process network buffer memory at 64 processes:")
+    for network in ("ib", "elan"):
+        machine = Machine(network, n_nodes=32, ppn=2)
+        mb = machine.memory_footprint_per_process() / (1024 * 1024)
+        print(f"  {NETWORK_LABELS[network]:<18} {mb:6.1f} MB "
+              f"({'grows with job size' if network == 'ib' else 'constant'})")
+
+
+if __name__ == "__main__":
+    main()

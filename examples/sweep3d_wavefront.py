@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Sweep3D wavefront study — the paper's Figures 4 and 5.
+
+Runs the fixed 150^3 KBA transport sweep on both networks (Figure 4's
+grind time + efficiency, including the superlinear cache jump at 4
+processes), then sweeps grid sizes on InfiniBand normalized at 4
+processes (Figure 5's anomaly check).
+
+Run:  python examples/sweep3d_wavefront.py          (~2 minutes)
+      python examples/sweep3d_wavefront.py --quick  (seconds)
+"""
+
+import sys
+
+from repro import Machine, SWEEP150, sweep3d_program
+from repro.apps import Sweep3dConfig, grind_time_ns
+from repro.core import fixed_efficiency
+from repro.mpi import NETWORK_LABELS
+
+
+def wall(net, nodes, config, seed=3):
+    machine = Machine(net, nodes, ppn=1, seed=seed)
+    return max(machine.run(sweep3d_program(config)).values)
+
+
+def main():
+    quick = "--quick" in sys.argv
+    counts = [1, 4, 9] if quick else [1, 4, 9, 16, 25]
+    config = Sweep3dConfig(n=60, iterations=1) if quick else SWEEP150
+
+    print(f"Sweep3D {config.n}^3, 1 PPN (Figure 4):")
+    print(f"{'nodes':>6} | " + " | ".join(
+        f"{NETWORK_LABELS[n]:^28}" for n in ("ib", "elan")))
+    print(f"{'':>6} | " + " | ".join(
+        f"{'grind ns':>12} {'eff %':>10}   " for _ in range(2)))
+    base = {}
+    for nodes in counts:
+        cells = []
+        for net in ("ib", "elan"):
+            t = wall(net, nodes, config)
+            if nodes == counts[0]:
+                base[net] = t
+            eff = 100.0 * base[net] / (nodes * t)
+            cells.append(f"{grind_time_ns(config, t):>12.2f} {eff:>10.1f}   ")
+        print(f"{nodes:>6} | " + " | ".join(cells))
+    print("Note the superlinear point at 4 processes: the fixed problem "
+          "drops toward cache.")
+
+    grids = (100, 150) if quick else (100, 150, 200)
+    print(f"\nSweep3D input sets on InfiniBand, normalized at 4 processes "
+          "(Figure 5):")
+    inputs_counts = [c for c in counts if c >= 4]
+    print(f"{'nodes':>6} | " + " | ".join(f"{g}^3".rjust(10) for g in grids))
+    series = {}
+    for g in grids:
+        cfg = Sweep3dConfig(n=g, iterations=1)
+        times = [(n, wall("ib", n, cfg)) for n in inputs_counts]
+        eff = fixed_efficiency(times[0][0], times[0][1], times)
+        series[g] = dict((n, e) for n, e in eff)
+    for n in inputs_counts:
+        print(f"{n:>6} | " + " | ".join(
+            f"{100 * series[g][n]:>9.1f}%" for g in grids))
+    print("A smooth decline across all inputs: the paper's 25-node spike "
+          "was an anomaly of one input set, not a network property.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (legacy ``--no-use-pep517`` editable installs); all metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

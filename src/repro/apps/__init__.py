@@ -1,0 +1,58 @@
+"""Application communication skeletons: LAMMPS, Sweep3D, NAS CG."""
+
+from .grids import (
+    coords2d,
+    coords3d,
+    factor2d,
+    factor3d,
+    neighbors3d,
+    rank2d,
+    rank3d,
+)
+from .lammps.model import LJS, MEMBRANE, LammpsConfig, lammps_program
+from .npb_cg.model import (
+    CG_CLASS_A,
+    CG_CLASS_B,
+    CgConfig,
+    cg_program,
+    mops_per_process,
+)
+from .npb_ft.model import FT_CLASS_A, FT_CLASS_W, FtConfig, ft_program
+from .npb_is.model import IS_CLASS_A, IS_CLASS_S, IsConfig, is_program
+from .npb_mg.model import MG_CLASS_A, MG_CLASS_S, MgConfig, mg_program
+from .sweep3d.model import SWEEP150, Sweep3dConfig, grind_time_ns, sweep3d_program
+
+__all__ = [
+    "factor2d",
+    "factor3d",
+    "coords2d",
+    "coords3d",
+    "rank2d",
+    "rank3d",
+    "neighbors3d",
+    "LammpsConfig",
+    "LJS",
+    "MEMBRANE",
+    "lammps_program",
+    "Sweep3dConfig",
+    "SWEEP150",
+    "sweep3d_program",
+    "grind_time_ns",
+    "CgConfig",
+    "CG_CLASS_A",
+    "CG_CLASS_B",
+    "cg_program",
+    "mops_per_process",
+    "FtConfig",
+    "FT_CLASS_A",
+    "FT_CLASS_W",
+    "ft_program",
+    "MgConfig",
+    "MG_CLASS_A",
+    "MG_CLASS_S",
+    "mg_program",
+    "IsConfig",
+    "IS_CLASS_A",
+    "IS_CLASS_S",
+    "is_program",
+]

@@ -1,0 +1,100 @@
+"""Process-grid factorizations used by the application skeletons.
+
+LAMMPS decomposes space over a 3-D process grid, Sweep3D and NAS CG over
+2-D grids.  These helpers produce the near-balanced factorizations the
+real codes choose, deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+
+def factor3d(p: int) -> Tuple[int, int, int]:
+    """Near-cubic factorization ``px * py * pz == p`` with px <= py <= pz."""
+    if p < 1:
+        raise ConfigurationError(f"process count must be positive: {p}")
+    best = (1, 1, p)
+    best_score = _surface3(1, 1, p)
+    for px in range(1, int(round(p ** (1 / 3))) + 2):
+        if p % px:
+            continue
+        q = p // px
+        for py in range(px, int(q**0.5) + 1):
+            if q % py:
+                continue
+            pz = q // py
+            score = _surface3(px, py, pz)
+            if score < best_score:
+                best, best_score = (px, py, pz), score
+    return best
+
+
+def _surface3(a: int, b: int, c: int) -> int:
+    return a * b + b * c + a * c
+
+
+def factor2d(p: int) -> Tuple[int, int]:
+    """Near-square factorization ``pr * pc == p`` with pr >= pc.
+
+    Matches NPB's convention for CG (for powers of two: square when the
+    exponent is even, 2:1 otherwise) and is a sensible KBA grid otherwise.
+    """
+    if p < 1:
+        raise ConfigurationError(f"process count must be positive: {p}")
+    pc = int(p**0.5)
+    while pc > 1 and p % pc:
+        pc -= 1
+    pr = p // pc
+    return (pr, pc)
+
+
+def coords3d(rank: int, dims: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """Rank -> (x, y, z) coordinates, x fastest (row-major in z,y,x)."""
+    px, py, pz = dims
+    if not 0 <= rank < px * py * pz:
+        raise ConfigurationError(f"rank {rank} outside grid {dims}")
+    x = rank % px
+    y = (rank // px) % py
+    z = rank // (px * py)
+    return (x, y, z)
+
+
+def rank3d(x: int, y: int, z: int, dims: Tuple[int, int, int]) -> int:
+    """(x, y, z) -> rank, inverse of :func:`coords3d` (periodic wrap)."""
+    px, py, pz = dims
+    return (x % px) + (y % py) * px + (z % pz) * px * py
+
+
+def neighbors3d(rank: int, dims: Tuple[int, int, int]) -> List[int]:
+    """The six periodic face neighbours of ``rank`` (x-, x+, y-, y+, z-, z+).
+
+    Dimensions of extent 1 wrap to self; the skeletons skip self-sends.
+    """
+    x, y, z = coords3d(rank, dims)
+    return [
+        rank3d(x - 1, y, z, dims),
+        rank3d(x + 1, y, z, dims),
+        rank3d(x, y - 1, z, dims),
+        rank3d(x, y + 1, z, dims),
+        rank3d(x, y, z - 1, dims),
+        rank3d(x, y, z + 1, dims),
+    ]
+
+
+def coords2d(rank: int, dims: Tuple[int, int]) -> Tuple[int, int]:
+    """Rank -> (row, col) on a 2-D grid (column fastest)."""
+    pr, pc = dims
+    if not 0 <= rank < pr * pc:
+        raise ConfigurationError(f"rank {rank} outside grid {dims}")
+    return (rank // pc, rank % pc)
+
+
+def rank2d(row: int, col: int, dims: Tuple[int, int]) -> int:
+    """(row, col) -> rank; no wrap (sweeps have open boundaries)."""
+    pr, pc = dims
+    if not (0 <= row < pr and 0 <= col < pc):
+        raise ConfigurationError(f"coords ({row},{col}) outside grid {dims}")
+    return row * pc + col

@@ -1,0 +1,5 @@
+"""LAMMPS molecular-dynamics communication skeleton."""
+
+from .model import LJS, MEMBRANE, LammpsConfig, lammps_program
+
+__all__ = ["LammpsConfig", "LJS", "MEMBRANE", "lammps_program"]

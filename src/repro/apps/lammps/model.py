@@ -1,0 +1,191 @@
+"""LAMMPS communication skeleton (spatial decomposition MD).
+
+LAMMPS assigns each process a spatial subdomain; every timestep it
+exchanges *ghost atom* halos with its six face neighbours (forward
+communication), computes forces, returns ghost forces (reverse
+communication), and periodically reduces thermodynamic scalars.  The
+skeleton issues exactly that MPI pattern with compute modelled as time.
+
+Two problem sets mirror the paper's scaled-size studies:
+
+* **LJS** (Lennard-Jones scaled): moderate compute per step, halo
+  exchanges issued as blocking per-dimension exchanges (the classic
+  LAMMPS ``comm->forward_comm()`` structure) — little overlap to exploit.
+* **membrane**: heavier per-step compute and larger halos, with the halo
+  exchange posted non-blockingly around the interior force computation.
+  This is the data set where the paper finds Elan-4's 1 PPN and 2 PPN
+  curves nearly coincident and credits overlap/independent progress; the
+  skeleton reproduces the mechanism rather than asserting the outcome.
+
+Scaled-size semantics: each process always owns ``atoms_per_proc`` atoms,
+so per-step compute and per-face message sizes are independent of the
+process count, and ideal scaling is a flat execution-time line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List
+
+from ...errors import ConfigurationError
+from ...mpi import MpiRank
+from ..grids import factor3d, neighbors3d
+
+#: Thermo output reduces a handful of doubles.
+THERMO_BYTES = 48
+
+
+@dataclass(frozen=True)
+class LammpsConfig:
+    """One LAMMPS problem set (scaled-size)."""
+
+    name: str
+    #: Atoms owned by each process (constant: scaled-size study).
+    atoms_per_proc: int
+    #: Per-atom communication payload (positions / forces).
+    bytes_per_atom: int
+    #: Host time to compute one timestep's forces for one process (us).
+    compute_per_step_us: float
+    #: Ghost-shell thickness factor: face atoms = skin *
+    #: atoms_per_proc^(2/3).
+    skin_factor: float
+    #: Number of simulated timesteps.
+    steps: int
+    #: Reduce thermodynamic scalars every this many steps.
+    thermo_every: int
+    #: Post halos non-blockingly and overlap with interior compute.
+    overlap: bool
+    #: Fraction of compute that needs no ghost data (overlap window).
+    interior_fraction: float
+    #: Coefficient of variation of per-step compute noise (OS jitter +
+    #: intrinsic load imbalance); the max across ranks grows with P.
+    jitter_cv: float
+
+    def __post_init__(self) -> None:
+        if self.atoms_per_proc < 1 or self.steps < 1:
+            raise ConfigurationError("bad LAMMPS configuration")
+        if not 0.0 <= self.interior_fraction <= 1.0:
+            raise ConfigurationError("interior_fraction must be in [0, 1]")
+
+    def face_bytes(self) -> int:
+        """Ghost-exchange message size per face."""
+        face_atoms = self.skin_factor * self.atoms_per_proc ** (2.0 / 3.0)
+        return max(1, int(face_atoms * self.bytes_per_atom))
+
+
+#: Lennard-Jones scaled problem: 32k atoms/process, classic blocking
+#: forward/reverse halo exchange structure.
+LJS = LammpsConfig(
+    name="ljs",
+    atoms_per_proc=32_000,
+    bytes_per_atom=40,
+    compute_per_step_us=15_000.0,
+    skin_factor=1.2,
+    steps=12,
+    thermo_every=4,
+    overlap=False,
+    interior_fraction=0.0,
+    jitter_cv=0.008,
+)
+
+#: Membrane problem: heavier per-step compute, larger halos (bigger
+#: cutoff), non-blocking overlapped exchange.
+MEMBRANE = LammpsConfig(
+    name="membrane",
+    atoms_per_proc=32_000,
+    bytes_per_atom=40,
+    compute_per_step_us=12_000.0,
+    skin_factor=1.6,
+    steps=12,
+    thermo_every=4,
+    overlap=True,
+    interior_fraction=0.85,
+    jitter_cv=0.008,
+)
+
+
+def lammps_program(config: LammpsConfig):
+    """Program factory running the skeleton on every rank.
+
+    Returns (per rank) the measured wall time of the timestep loop.
+    """
+
+    def program(mpi: MpiRank) -> Generator[Any, Any, float]:
+        dims = factor3d(mpi.size)
+        neigh = neighbors3d(mpi.rank, dims)
+        # LAMMPS swap structure: per dimension, send one way while
+        # receiving from the other (globally consistent, deadlock-free),
+        # then the reverse.  Collapsed (extent-1) dimensions are skipped.
+        swaps = []
+        for d in range(3):
+            minus, plus = neigh[2 * d], neigh[2 * d + 1]
+            if minus == mpi.rank and plus == mpi.rank:
+                continue
+            swaps.append((plus, minus))  # send downstream, recv upstream
+            swaps.append((minus, plus))
+        partners = sorted({n for n in neigh if n != mpi.rank})
+        face = config.face_bytes()
+        jitter_stream = f"lammps.{config.name}.r{mpi.rank}"
+        rng = mpi.ctx.sim.rng
+
+        yield from mpi.barrier()
+        t0 = mpi.now
+        for step in range(config.steps):
+            step_compute = rng.jitter(
+                jitter_stream, config.compute_per_step_us, config.jitter_cv
+            )
+            if config.overlap:
+                yield from _overlapped_step(
+                    mpi, partners, swaps, face, step_compute, config
+                )
+            else:
+                yield from _blocking_step(mpi, swaps, face, step_compute)
+            if (step + 1) % config.thermo_every == 0:
+                yield from mpi.allreduce(THERMO_BYTES)
+        yield from mpi.barrier()
+        return mpi.now - t0
+
+    return program
+
+
+def _blocking_step(
+    mpi: MpiRank, swaps: List[tuple], face: int, compute_us: float
+) -> Generator[Any, Any, None]:
+    """Forward halo -> compute -> reverse halo, all blocking swaps."""
+    yield from _exchange_all(mpi, swaps, face, tag=1)
+    yield from mpi.compute(compute_us)
+    yield from _exchange_all(mpi, swaps, face, tag=2)
+
+
+def _overlapped_step(
+    mpi: MpiRank,
+    partners: List[int],
+    swaps: List[tuple],
+    face: int,
+    compute_us: float,
+    config: LammpsConfig,
+) -> Generator[Any, Any, None]:
+    """Post halos, compute the interior, complete halos, finish boundary."""
+    reqs = []
+    for p in partners:
+        r = yield from mpi.irecv(source=p, tag=1, size=face, buf=("halo-in", p))
+        reqs.append(r)
+    for p in partners:
+        s = yield from mpi.isend(dest=p, size=face, tag=1, buf=("halo-out", p))
+        reqs.append(s)
+    yield from mpi.compute(compute_us * config.interior_fraction)
+    yield from mpi.waitall(reqs)
+    yield from mpi.compute(compute_us * (1.0 - config.interior_fraction))
+    # Reverse (force) communication, also overlappable in principle but
+    # immediately needed: exchange blocking.
+    yield from _exchange_all(mpi, swaps, face, tag=2)
+
+
+def _exchange_all(
+    mpi: MpiRank, swaps: List[tuple], face: int, tag: int
+) -> Generator[Any, Any, None]:
+    """Directed swaps: send one way while receiving from the other."""
+    for send_to, recv_from in swaps:
+        yield from mpi.sendrecv(
+            dest=send_to, send_size=face, source=recv_from, recv_size=face, tag=tag
+        )

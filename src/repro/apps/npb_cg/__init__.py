@@ -1,0 +1,17 @@
+"""NAS Parallel Benchmark CG communication skeleton."""
+
+from .model import (
+    CG_CLASS_A,
+    CG_CLASS_B,
+    CgConfig,
+    cg_program,
+    mops_per_process,
+)
+
+__all__ = [
+    "CgConfig",
+    "CG_CLASS_A",
+    "CG_CLASS_B",
+    "cg_program",
+    "mops_per_process",
+]

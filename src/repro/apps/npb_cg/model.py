@@ -1,0 +1,147 @@
+"""NAS Parallel Benchmark CG communication skeleton (class A).
+
+CG finds the smallest eigenvalue of a sparse symmetric matrix by inverse
+power iteration; each outer iteration runs ``cgitmax`` conjugate-gradient
+steps.  NPB decomposes the matrix over a 2-D grid of ``nprows x npcols``
+processes; each CG step does one sparse matrix-vector product — requiring
+a sum-reduction across each process *row* (log2(npcols) pairwise
+exchanges of the local vector segment) and one transpose exchange — plus
+two dot-product allreduces.
+
+Class A (na=14000) is chosen, as in the paper, so the per-process working
+set stays in cache at every process count: the per-process compute rate
+is flat and the benchmark is communication-dominated, "providing the best
+scaling information".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ...errors import ConfigurationError
+from ...hardware import CacheSpec, XEON_CACHE
+from ...mpi import MpiRank
+from ..grids import factor2d
+
+
+@dataclass(frozen=True)
+class CgConfig:
+    """One NPB CG class (fixed problem size)."""
+
+    name: str
+    #: Matrix order.
+    na: int
+    #: Nonzeros in the assembled matrix.
+    nnz: int
+    #: Outer (inverse power) iterations; NPB class A runs 15 — the rate
+    #: metric is iteration-independent, so fewer keep simulation cheap.
+    niter: int
+    #: CG steps per outer iteration (NPB: 25).
+    cgitmax: int = 25
+    #: Sustained flop rate of one model Xeon on in-cache CG (Mflop/s).
+    mflops_per_proc: float = 420.0
+    #: Per-step compute jitter.
+    jitter_cv: float = 0.004
+    #: The paper chose class A "so that the data would reside in cache
+    #: for all of the jobs that were run", i.e. a flat per-process
+    #: compute rate: no cache penalty.  (Class B overrides this.)
+    cache: CacheSpec = CacheSpec(out_of_cache_penalty=1.0)
+
+    def __post_init__(self) -> None:
+        if self.na < 1 or self.nnz < 1 or self.niter < 1:
+            raise ConfigurationError("bad CG configuration")
+
+    def flops_per_cg_step(self) -> float:
+        """Matvec dominates: 2 flops per nonzero, plus vector ops."""
+        return 2.0 * self.nnz + 10.0 * self.na
+
+    def total_flops(self) -> float:
+        """Flops across the whole measured run."""
+        return self.flops_per_cg_step() * self.cgitmax * self.niter
+
+
+#: Class A: na=14000, ~1.85M nonzeros, fits in cache per process.
+CG_CLASS_A = CgConfig(name="A", na=14_000, nnz=1_853_104, niter=3)
+
+#: Class B for what-if studies (na=75000; no longer cache-resident at
+#: small process counts, so the cache model engages).
+CG_CLASS_B = CgConfig(
+    name="B", na=75_000, nnz=13_708_072, niter=2, cache=XEON_CACHE
+)
+
+
+def cg_program(config: CgConfig):
+    """Program factory; each rank returns its CG-loop wall time in us."""
+
+    def program(mpi: MpiRank) -> Generator[Any, Any, float]:
+        nprows, npcols = factor2d(mpi.size)
+        if nprows * npcols != mpi.size:
+            raise ConfigurationError("CG needs a full 2-D grid")
+        me_row = mpi.rank // npcols
+        me_col = mpi.rank % npcols
+        seg_bytes = max(8, (config.na // nprows) * 8)
+        # Per-process compute per CG step: flops split over processes,
+        # scaled by the cache factor of the per-process working set.
+        working_set = (config.nnz * 12 + config.na * 48) / mpi.size
+        factor = config.cache.speed_factor(working_set)
+        step_us = (
+            config.flops_per_cg_step() / mpi.size / config.mflops_per_proc * factor
+        )
+        jstream = f"cg.r{mpi.rank}"
+        rng = mpi.ctx.sim.rng
+
+        yield from mpi.barrier()
+        t0 = mpi.now
+        for _ in range(config.niter):
+            for _ in range(config.cgitmax):
+                # Sparse matvec compute.
+                yield from mpi.compute(
+                    rng.jitter(jstream, step_us, config.jitter_cv)
+                )
+                # Row sum-reduction: log2(npcols) pairwise exchanges.
+                stride = 1
+                while stride < npcols:
+                    partner_col = me_col ^ stride
+                    if partner_col < npcols:
+                        partner = me_row * npcols + partner_col
+                        yield from mpi.sendrecv(
+                            dest=partner,
+                            send_size=seg_bytes,
+                            source=partner,
+                            recv_size=seg_bytes,
+                            tag=3,
+                        )
+                    stride <<= 1
+                # Transpose exchange: on square grids the partner is the
+                # transposed coordinate (self on the diagonal).  On 2:1
+                # grids NPB uses a shifted partner; the symmetric
+                # half-rotation used here carries the same message volume.
+                if nprows == npcols:
+                    transpose = me_col * nprows + me_row
+                else:
+                    transpose = (mpi.rank + mpi.size // 2) % mpi.size
+                if npcols > 1 and transpose != mpi.rank:
+                    yield from mpi.sendrecv(
+                        dest=transpose,
+                        send_size=seg_bytes,
+                        source=transpose,
+                        recv_size=seg_bytes,
+                        tag=4,
+                    )
+                # Two dot products per CG step.
+                yield from mpi.allreduce(8)
+                yield from mpi.allreduce(8)
+            # Outer-iteration norm.
+            yield from mpi.allreduce(8)
+        yield from mpi.barrier()
+        return mpi.now - t0
+
+    return program
+
+
+def mops_per_process(config: CgConfig, wall_us: float, nprocs: int) -> float:
+    """MOps/second/process — the paper's Figure 6(a) y-axis."""
+    total_mops = config.total_flops() / 1e6
+    seconds = wall_us / 1e6
+    return total_mops / seconds / nprocs

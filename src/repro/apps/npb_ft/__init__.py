@@ -1,0 +1,5 @@
+"""NAS Parallel Benchmark FT communication skeleton (extension)."""
+
+from .model import FT_CLASS_A, FT_CLASS_W, FtConfig, ft_program
+
+__all__ = ["FtConfig", "FT_CLASS_A", "FT_CLASS_W", "ft_program"]

@@ -1,0 +1,91 @@
+"""NAS Parallel Benchmark FT communication skeleton (3-D FFT).
+
+An *extension* beyond the paper's benchmark set (its future work calls
+for "a greater breadth of applications"): FT is the bandwidth-stressing
+extreme — each iteration performs a full volume transpose (all-to-all) to
+rotate the distributed dimension of a 3-D FFT, moving the entire local
+volume across the network.  Where CG exposes latency and collectives, FT
+exposes aggregate bisection bandwidth; on the model fabrics both
+interconnects converge toward the shared PCI-X bound at FT's large
+message sizes, so the expected gap is the smallest of the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+from typing import Any, Generator
+
+from ...errors import ConfigurationError
+from ...mpi import MpiRank
+
+
+@dataclass(frozen=True)
+class FtConfig:
+    """One NPB FT class (1-D slab decomposition, as in NPB 2)."""
+
+    name: str
+    #: Grid dimensions (complex values).
+    nx: int
+    ny: int
+    nz: int
+    #: FT iterations (NPB class A runs 6).
+    niter: int
+    #: Bytes per grid value (complex double).
+    bytes_per_value: int = 16
+    #: Sustained flop rate per process on FFT kernels (Mflop/s).
+    mflops_per_proc: float = 380.0
+    jitter_cv: float = 0.004
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 2 or self.niter < 1:
+            raise ConfigurationError("bad FT configuration")
+
+    @property
+    def points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def flops_per_iteration(self) -> float:
+        """3 passes of 1-D FFTs: 5 N log2(n_dim) each, roughly."""
+        return 5.0 * self.points * (
+            log2(self.nx) + log2(self.ny) + log2(self.nz)
+        )
+
+
+#: Class A: 256 x 256 x 128.
+FT_CLASS_A = FtConfig(name="A", nx=256, ny=256, nz=128, niter=2)
+
+#: A small class W-like input for tests.
+FT_CLASS_W = FtConfig(name="W", nx=128, ny=128, nz=32, niter=2)
+
+
+def ft_program(config: FtConfig):
+    """Program factory; each rank returns its iteration-loop wall time.
+
+    Slab decomposition over z: each iteration computes the local FFT
+    passes and performs one global transpose — an all-to-all where each
+    pair exchanges ``local_volume / P`` bytes.
+    """
+
+    def program(mpi: MpiRank) -> Generator[Any, Any, float]:
+        p = mpi.size
+        local_bytes = config.points * config.bytes_per_value // p
+        pair_bytes = max(1, local_bytes // max(1, p))
+        compute_us = config.flops_per_iteration() / p / config.mflops_per_proc
+        jstream = f"ft.r{mpi.rank}"
+        rng = mpi.ctx.sim.rng
+
+        yield from mpi.barrier()
+        t0 = mpi.now
+        for _ in range(config.niter):
+            # Local FFT passes on the slab.
+            yield from mpi.compute(rng.jitter(jstream, compute_us, config.jitter_cv))
+            # Global transpose: the defining all-to-all.
+            if p > 1:
+                yield from mpi.alltoall(pair_bytes)
+            # Checksum reduction closes each iteration.
+            yield from mpi.allreduce(16)
+        yield from mpi.barrier()
+        return mpi.now - t0
+
+    return program

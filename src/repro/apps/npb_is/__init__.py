@@ -1,0 +1,5 @@
+"""NAS Parallel Benchmark IS communication skeleton (extension)."""
+
+from .model import IS_CLASS_A, IS_CLASS_S, IsConfig, is_program
+
+__all__ = ["IsConfig", "IS_CLASS_A", "IS_CLASS_S", "is_program"]

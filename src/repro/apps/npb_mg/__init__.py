@@ -1,0 +1,5 @@
+"""NAS Parallel Benchmark MG communication skeleton (extension)."""
+
+from .model import MG_CLASS_A, MG_CLASS_S, MgConfig, mg_program
+
+__all__ = ["MgConfig", "MG_CLASS_A", "MG_CLASS_S", "mg_program"]

@@ -1,0 +1,134 @@
+"""NAS Parallel Benchmark MG communication skeleton (multigrid V-cycles).
+
+An *extension* beyond the paper's benchmark set: MG sweeps a V-cycle over
+a hierarchy of grids, exchanging ghost faces at every level.  Fine levels
+move large halos (bandwidth); coarse levels move tiny ones whose cost is
+pure latency — so one application alternates between the two regimes the
+micro-benchmarks separate, and the latency-sensitive coarse levels are
+where the Elan-4 advantage concentrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List
+
+from ...errors import ConfigurationError
+from ...mpi import MpiRank
+from ..grids import factor3d, neighbors3d
+
+
+@dataclass(frozen=True)
+class MgConfig:
+    """One NPB MG class."""
+
+    name: str
+    #: Fine-grid dimension (cubic: n^3).
+    n: int
+    #: V-cycle iterations (class A runs 4).
+    niter: int
+    #: Grid levels (class A: 256^3 down to 2^3 would be 8; NPB uses
+    #: log2(n) levels with the coarsest handled redundantly).
+    bytes_per_value: int = 8
+    #: Per-point cost of one smoothing sweep (us) at full speed.
+    smooth_us_per_point: float = 0.004
+    mflops_note: str = "smoother dominated"
+    jitter_cv: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.n < 4 or self.n & (self.n - 1):
+            raise ConfigurationError("MG grid must be a power of two >= 4")
+        if self.niter < 1:
+            raise ConfigurationError("need at least one V-cycle")
+
+    @property
+    def levels(self) -> int:
+        """Grid levels from n^3 down to 4^3."""
+        k, n = 0, self.n
+        while n >= 4:
+            k += 1
+            n //= 2
+        return k
+
+
+#: Class A: 256^3, 4 iterations.
+MG_CLASS_A = MgConfig(name="A", n=256, niter=2)
+
+#: Small input for tests.
+MG_CLASS_S = MgConfig(name="S", n=32, niter=1)
+
+
+def mg_program(config: MgConfig):
+    """Program factory; each rank returns its V-cycle loop wall time.
+
+    3-D decomposition as in LAMMPS; each level performs one smoothing
+    sweep (compute over local points) and one ghost exchange with the six
+    face neighbours.  Below the decomposition limit the level's work is
+    replicated, costing an allreduce instead (NPB's coarse-grid handling,
+    simplified).
+    """
+
+    def program(mpi: MpiRank) -> Generator[Any, Any, float]:
+        dims = factor3d(mpi.size)
+        neigh = neighbors3d(mpi.rank, dims)
+        swaps: List[tuple] = []
+        for d in range(3):
+            minus, plus = neigh[2 * d], neigh[2 * d + 1]
+            if minus == mpi.rank and plus == mpi.rank:
+                continue
+            swaps.append((plus, minus))
+            swaps.append((minus, plus))
+        px, py, pz = dims
+        jstream = f"mg.r{mpi.rank}"
+        rng = mpi.ctx.sim.rng
+
+        yield from mpi.barrier()
+        t0 = mpi.now
+        for _ in range(config.niter):
+            # Down-sweep and up-sweep: visit each level twice.
+            level_sizes = []
+            n = config.n
+            while n >= 4:
+                level_sizes.append(n)
+                n //= 2
+            for n_level in level_sizes + level_sizes[::-1]:
+                lx = max(1, n_level // px)
+                ly = max(1, n_level // py)
+                lz = max(1, n_level // pz)
+                local_points = lx * ly * lz
+                if n_level >= max(px, py, pz) * 2:
+                    # Distributed level: smooth + ghost exchange.
+                    yield from mpi.compute(
+                        rng.jitter(
+                            jstream,
+                            local_points * config.smooth_us_per_point,
+                            config.jitter_cv,
+                        )
+                    )
+                    face = max(
+                        8, (lx * ly + ly * lz + lx * lz) // 3 * config.bytes_per_value
+                    )
+                    for send_to, recv_from in swaps:
+                        yield from mpi.sendrecv(
+                            dest=send_to,
+                            send_size=face,
+                            source=recv_from,
+                            recv_size=face,
+                            tag=6,
+                        )
+                else:
+                    # Coarse level: replicated solve, synchronized.
+                    yield from mpi.compute(
+                        rng.jitter(
+                            jstream,
+                            n_level**3 * config.smooth_us_per_point,
+                            config.jitter_cv,
+                        )
+                    )
+                    yield from mpi.allreduce(n_level**3 * config.bytes_per_value)
+            # Residual norm per V-cycle.
+            yield from mpi.allreduce(8)
+        yield from mpi.barrier()
+        return mpi.now - t0
+
+    return program

@@ -1,0 +1,5 @@
+"""Sweep3D discrete-ordinates transport communication skeleton."""
+
+from .model import SWEEP150, Sweep3dConfig, grind_time_ns, sweep3d_program
+
+__all__ = ["Sweep3dConfig", "SWEEP150", "sweep3d_program", "grind_time_ns"]

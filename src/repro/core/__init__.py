@@ -1,0 +1,45 @@
+"""The comparison-study framework: the paper's methodology as a library."""
+
+from .calibration import Anchor, check_all, microbenchmark_anchors, render_anchors
+from .efficiency import efficiency_series, fixed_efficiency, scaled_efficiency
+from .extrapolate import (
+    TrendFit,
+    efficiency_gap_at,
+    extrapolate_efficiency,
+    extrapolate_scaled_time,
+    fit_trend,
+    trend_series,
+)
+from .figures import EXPERIMENTS, FigureData
+from .parameters import parameter_count, render_parameters
+from .platform import render_table1, table1_rows
+from .study import DEFAULT_REPETITIONS, ScalingStudy, StudyPoint, StudyResult
+from .tables import render_series_table, render_table
+
+__all__ = [
+    "ScalingStudy",
+    "StudyResult",
+    "StudyPoint",
+    "DEFAULT_REPETITIONS",
+    "scaled_efficiency",
+    "fixed_efficiency",
+    "efficiency_series",
+    "fit_trend",
+    "TrendFit",
+    "extrapolate_efficiency",
+    "extrapolate_scaled_time",
+    "efficiency_gap_at",
+    "trend_series",
+    "EXPERIMENTS",
+    "FigureData",
+    "table1_rows",
+    "render_table1",
+    "render_parameters",
+    "parameter_count",
+    "render_table",
+    "render_series_table",
+    "Anchor",
+    "check_all",
+    "microbenchmark_anchors",
+    "render_anchors",
+]

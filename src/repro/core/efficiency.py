@@ -1,0 +1,73 @@
+"""Scaling-efficiency metrics — the paper's primary performance metric.
+
+Two study styles appear in the paper:
+
+* **scaled-size** (LAMMPS): per-process work is constant, so ideal
+  execution time is flat and efficiency is ``T(base) / T(N)``;
+* **fixed-size** (Sweep3D, CG): total work is constant, so ideal time
+  halves per doubling and efficiency is
+  ``(T(base) * P_base) / (T(N) * P_N)``.
+
+"A scaling efficiency of 100% indicates a machine that is N times faster
+when using N more processors."  Efficiencies above 1.0 are superlinear
+(Sweep3D's cache effect) and deliberately not clamped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..results import DataSeries
+
+
+def scaled_efficiency(
+    base_time: float, times: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """Efficiency for a scaled-size study: flat time is perfect."""
+    if base_time <= 0:
+        raise ConfigurationError("base time must be positive")
+    out = []
+    for n, t in times:
+        if t <= 0:
+            raise ConfigurationError(f"non-positive time at {n}")
+        out.append((n, base_time / t))
+    return out
+
+
+def fixed_efficiency(
+    base_procs: int,
+    base_time: float,
+    times: Sequence[Tuple[int, float]],
+) -> List[Tuple[int, float]]:
+    """Efficiency for a fixed-size study: perfect is linear speedup.
+
+    ``times`` pairs are (process count, time); the base point need not be
+    one process — the paper's Figure 5 normalizes Sweep3D to 4 processes.
+    """
+    if base_time <= 0 or base_procs < 1:
+        raise ConfigurationError("bad normalization point")
+    out = []
+    for n, t in times:
+        if t <= 0 or n < 1:
+            raise ConfigurationError(f"bad point ({n}, {t})")
+        speedup = base_time / t
+        ideal = n / base_procs
+        out.append((n, speedup / ideal))
+    return out
+
+
+def efficiency_series(
+    label: str,
+    pairs: Sequence[Tuple[int, float]],
+    percent: bool = True,
+) -> DataSeries:
+    """Wrap (n, efficiency) pairs as a plot-ready series."""
+    scale = 100.0 if percent else 1.0
+    return DataSeries(
+        label=label,
+        x=[float(n) for n, _ in pairs],
+        y=[e * scale for _, e in pairs],
+        x_name="nodes",
+        y_name="scaling efficiency (%)" if percent else "scaling efficiency",
+    )

@@ -1,0 +1,133 @@
+"""Scaling-trend extrapolation — the paper's Figure 8.
+
+Section 5 asks whether Elan-4 could stay competitive at scale and answers
+by extrapolating the LAMMPS membrane scaling trends "out to 8192
+processors, assuming the scaling trends continue exactly as they did for
+the first 32 nodes" (the authors call this probably optimistic for
+Elan-4).  We reproduce that construction: fit the per-doubling efficiency
+slope over the measured tail and extend it, clamping efficiency to a
+floor so extrapolated times stay finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..results import DataSeries
+
+#: Extrapolated efficiency never drops below this (times stay finite).
+EFFICIENCY_FLOOR = 0.02
+
+
+@dataclass(frozen=True)
+class TrendFit:
+    """A linear efficiency trend in log2(node count)."""
+
+    intercept: float
+    slope_per_doubling: float
+
+    def efficiency_at(self, nodes: int) -> float:
+        """Extrapolated efficiency at ``nodes`` (clamped to the floor)."""
+        if nodes < 1:
+            raise ConfigurationError("node count must be positive")
+        e = self.intercept + self.slope_per_doubling * log2(nodes)
+        return max(e, EFFICIENCY_FLOOR)
+
+
+def fit_trend(
+    pairs: Sequence[Tuple[int, float]], tail_points: int = 3
+) -> TrendFit:
+    """Least-squares fit of efficiency vs log2(nodes) over the tail.
+
+    ``tail_points`` selects how much of the measured curve defines the
+    trend; the paper's wording implies the whole observed range, but the
+    tail dominates either way since early points sit near 100%.
+    """
+    pts = [(n, e) for n, e in pairs if n >= 1]
+    if len(pts) < 2:
+        raise ConfigurationError("need at least two points to fit a trend")
+    tail = pts[-max(2, tail_points):]
+    xs = [log2(n) for n, _ in tail]
+    ys = [e for _, e in tail]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denom = sum((x - mean_x) ** 2 for x in xs)
+    if denom == 0.0:
+        raise ConfigurationError("degenerate trend fit (single node count)")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denom
+    intercept = mean_y - slope * mean_x
+    return TrendFit(intercept=intercept, slope_per_doubling=slope)
+
+
+def extrapolate_efficiency(
+    measured: Sequence[Tuple[int, float]],
+    out_to_nodes: int = 8192,
+    tail_points: int = 3,
+) -> List[Tuple[int, float]]:
+    """Measured points followed by extrapolated doublings.
+
+    Returns (nodes, efficiency) pairs: the measured ones verbatim, then
+    the fitted trend at each power of two up to ``out_to_nodes``.
+    """
+    fit = fit_trend(measured, tail_points)
+    out = list(measured)
+    last = max(n for n, _ in measured)
+    n = 1
+    while n <= last:
+        n *= 2
+    while n <= out_to_nodes:
+        out.append((n, fit.efficiency_at(n)))
+        n *= 2
+    return out
+
+
+def extrapolate_scaled_time(
+    base_time: float,
+    measured_eff: Sequence[Tuple[int, float]],
+    out_to_nodes: int = 8192,
+    tail_points: int = 3,
+) -> List[Tuple[int, float]]:
+    """Execution time implied by the extrapolated efficiency.
+
+    For a scaled-size study ``T(N) = T(base) / E(N)`` — Figure 8(a)'s
+    rising curves.
+    """
+    eff = extrapolate_efficiency(measured_eff, out_to_nodes, tail_points)
+    return [(n, base_time / max(e, EFFICIENCY_FLOOR)) for n, e in eff]
+
+
+def efficiency_gap_at(
+    curve_a: Sequence[Tuple[int, float]],
+    curve_b: Sequence[Tuple[int, float]],
+    nodes: int,
+    tail_points: int = 3,
+) -> float:
+    """Extrapolated efficiency difference (a - b) at ``nodes``.
+
+    The paper reports "nearly 40% in scaling efficiency at 1024 nodes"
+    between Elan-4 and InfiniBand for the membrane data set.
+    """
+    fa = fit_trend(curve_a, tail_points)
+    fb = fit_trend(curve_b, tail_points)
+    return fa.efficiency_at(nodes) - fb.efficiency_at(nodes)
+
+
+def trend_series(
+    label: str,
+    measured: Sequence[Tuple[int, float]],
+    out_to_nodes: int = 8192,
+    tail_points: int = 3,
+) -> DataSeries:
+    """Plot-ready extrapolated efficiency curve (percent)."""
+    pairs = extrapolate_efficiency(measured, out_to_nodes, tail_points)
+    return DataSeries(
+        label=label,
+        x=[float(n) for n, _ in pairs],
+        y=[100.0 * e for _, e in pairs],
+        x_name="nodes",
+        y_name="scaling efficiency (%)",
+    )

@@ -1,0 +1,508 @@
+"""Generators for every table and figure in the paper's evaluation.
+
+Each ``figN_*`` function runs the relevant simulation sweep and returns a
+:class:`FigureData` — series plus an ASCII rendering — so the benchmark
+harness, the examples and the full report all share one implementation.
+The module-level :data:`EXPERIMENTS` registry maps experiment ids
+("fig1a" ... "fig8", "table1" ... "table3") to their generators; see
+DESIGN.md's per-experiment index.
+
+Every generator takes a ``quick`` flag: the default regenerates the
+paper-scale sweep; ``quick=True`` shrinks repetitions and node counts for
+tests and smoke runs without changing the code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..apps import (
+    CG_CLASS_A,
+    LJS,
+    MEMBRANE,
+    Sweep3dConfig,
+    SWEEP150,
+    cg_program,
+    grind_time_ns,
+    lammps_program,
+    mops_per_process,
+    sweep3d_program,
+)
+from ..cost import cost_curves, system_cost_gap, table_rows
+from ..cost.prices import IB_PRICES, QUADRICS_PRICES
+from ..microbench import run_beff_scaling, run_pingpong, run_streaming
+from ..mpi import NETWORK_LABELS
+from ..results import DataSeries
+from ..units import KiB, MiB, pow2_sizes
+from .efficiency import efficiency_series, fixed_efficiency
+from .extrapolate import extrapolate_scaled_time, trend_series
+from .platform import render_table1
+from .study import ScalingStudy, StudyResult
+from .tables import render_series_table, render_table
+
+
+@dataclass
+class FigureData:
+    """One regenerated experiment: id, series, rendering, notes."""
+
+    exp_id: str
+    title: str
+    series: List[DataSeries] = field(default_factory=list)
+    text: str = ""
+    notes: str = ""
+    #: Whether the paper plots this figure's x axis logarithmically.
+    log_x: bool = False
+
+    def render(self, plots: bool = False) -> str:
+        if self.text:
+            return self.text
+        out = render_series_table(self.series, title=self.title)
+        if plots and self.series:
+            from ..results import ascii_plot
+
+            try:
+                out += "\n\n" + ascii_plot(
+                    self.series, log_x=self.log_x, title=self.title
+                )
+            except Exception:  # noqa: BLE001 - plots are best-effort extras
+                pass
+        if self.notes:
+            out += f"\n\n{self.notes}"
+        return out
+
+
+# --------------------------------------------------------------------------
+# Figure 1: micro-benchmarks
+# --------------------------------------------------------------------------
+
+def _micro_sizes(quick: bool) -> List[int]:
+    return pow2_sizes(64 * KiB) if quick else pow2_sizes(4 * MiB)
+
+
+def fig1a_latency(quick: bool = False, seed: int = 0) -> FigureData:
+    """Ping-pong latency vs message size (log x-axis)."""
+    sizes = _micro_sizes(quick)
+    series = []
+    for net in ("ib", "elan"):
+        pp = run_pingpong(net, sizes=sizes, seed=seed)
+        series.append(
+            DataSeries(
+                label=NETWORK_LABELS[net],
+                x=[float(p.size) for p in pp.points],
+                y=[p.latency_us for p in pp.points],
+                x_name="message size (B)",
+                y_name="latency (us)",
+            )
+        )
+    return FigureData(
+        exp_id="fig1a",
+        log_x=True,
+        title="Figure 1(a): ping-pong latency (us) vs message size",
+        series=series,
+        notes="Elan-4 ~ half of InfiniBand; IB jump between 1 KB and 2 KB "
+        "is the eager->rendezvous protocol switch.",
+    )
+
+
+def fig1b_bandwidth(quick: bool = False, seed: int = 0) -> FigureData:
+    """Ping-pong and streaming bandwidth vs message size."""
+    sizes = [s for s in _micro_sizes(quick) if s > 0]
+    series = []
+    for net in ("ib", "elan"):
+        pp = run_pingpong(net, sizes=sizes, seed=seed)
+        series.append(
+            DataSeries(
+                label=f"{NETWORK_LABELS[net]} ping-pong",
+                x=[float(p.size) for p in pp.points],
+                y=[p.bandwidth for p in pp.points],
+                x_name="message size (B)",
+                y_name="bandwidth (MB/s)",
+            )
+        )
+    for net in ("ib", "elan"):
+        st = run_streaming(net, sizes=sizes, seed=seed)
+        series.append(
+            DataSeries(
+                label=f"{NETWORK_LABELS[net]} streaming",
+                x=[float(p.size) for p in st.points],
+                y=[p.bandwidth for p in st.points],
+                x_name="message size (B)",
+                y_name="bandwidth (MB/s)",
+            )
+        )
+    return FigureData(
+        exp_id="fig1b",
+        log_x=True,
+        title="Figure 1(b): bandwidth (MB/s) vs message size",
+        series=series,
+        notes="Both asymptote near the PCI-X bound; the InfiniBand 4 MB "
+        "ping-pong dip is registration-cache thrash.",
+    )
+
+
+def fig1c_ratio(quick: bool = False, seed: int = 0) -> FigureData:
+    """Elan-4 : InfiniBand bandwidth ratio vs message size."""
+    fig = fig1b_bandwidth(quick=quick, seed=seed)
+    by_label = {s.label: s for s in fig.series}
+    series = []
+    for kind in ("ping-pong", "streaming"):
+        elan = by_label[f"{NETWORK_LABELS['elan']} {kind}"]
+        ib = by_label[f"{NETWORK_LABELS['ib']} {kind}"]
+        series.append(
+            DataSeries(
+                label=f"Elan-4 / InfiniBand ({kind})",
+                x=list(elan.x),
+                y=[e / i if i > 0 else 0.0 for e, i in zip(elan.y, ib.y)],
+                x_name="message size (B)",
+                y_name="bandwidth ratio",
+            )
+        )
+    return FigureData(
+        exp_id="fig1c",
+        log_x=True,
+        title="Figure 1(c): Elan-4 to InfiniBand bandwidth ratio",
+        series=series,
+        notes="Over 5x at small sizes with the streaming benchmark; "
+        "converging toward 1 at large sizes.",
+    )
+
+
+def fig1d_beff(quick: bool = False, seed: int = 0) -> FigureData:
+    """b_eff per process vs number of processes (1 PPN)."""
+    counts = (2, 4, 8) if quick else (2, 4, 8, 16, 32)
+    max_size = 64 * KiB if quick else 1 * MiB
+    series = []
+    for net in ("ib", "elan"):
+        results = run_beff_scaling(net, counts, seed=seed, max_size=max_size)
+        series.append(
+            DataSeries(
+                label=NETWORK_LABELS[net],
+                x=[float(r.nprocs) for r in results],
+                y=[r.per_process for r in results],
+                x_name="processes",
+                y_name="b_eff / process (MB/s)",
+            )
+        )
+    return FigureData(
+        exp_id="fig1d",
+        title="Figure 1(d): effective bandwidth (b_eff) per process, 1 PPN",
+        series=series,
+        notes="Logarithmic size average weights short messages heavily; "
+        "an ideal machine's line would be flat.",
+    )
+
+
+# --------------------------------------------------------------------------
+# Figures 2/3: LAMMPS scaled-size studies
+# --------------------------------------------------------------------------
+
+def _lammps_figure(
+    exp_id: str, title: str, config, quick: bool, seed: int
+) -> FigureData:
+    node_counts = [1, 2, 4] if quick else [1, 2, 4, 8, 16, 32]
+    reps = 2 if quick else 4
+    study = ScalingStudy(
+        lambda: lammps_program(config),
+        node_counts=node_counts,
+        ppns=(1, 2),
+        repetitions=reps,
+        mode="scaled",
+        seed_base=seed + 1000,
+    )
+    result = study.run()
+    series = result.time_series(unit=1e6)  # seconds
+    for s in series:
+        s.y_name = "time (s)"
+    eff = result.efficiency_series()
+    return FigureData(
+        exp_id=exp_id,
+        title=title,
+        series=series + eff,
+        notes="Scaled-size study: ideal time is flat. Time curves in "
+        "seconds; efficiency curves in percent.",
+    )
+
+
+def fig2_lammps_ljs(quick: bool = False, seed: int = 0) -> FigureData:
+    """LAMMPS LJS: execution time and scaling efficiency."""
+    return _lammps_figure(
+        "fig2",
+        "Figure 2: LAMMPS LJS (scaled) — time and scaling efficiency",
+        LJS,
+        quick,
+        seed,
+    )
+
+
+def fig3_lammps_membrane(quick: bool = False, seed: int = 0) -> FigureData:
+    """LAMMPS membrane: execution time and scaling efficiency."""
+    return _lammps_figure(
+        "fig3",
+        "Figure 3: LAMMPS membrane (scaled) — time and scaling efficiency",
+        MEMBRANE,
+        quick,
+        seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figures 4/5: Sweep3D fixed-size study
+# --------------------------------------------------------------------------
+
+def fig4_sweep3d(quick: bool = False, seed: int = 0) -> FigureData:
+    """Sweep3D 150^3: grind time and scaling efficiency (1 PPN)."""
+    node_counts = [1, 4, 9] if quick else [1, 4, 9, 16, 25, 32]
+    reps = 2 if quick else 4
+    study = ScalingStudy(
+        lambda: sweep3d_program(SWEEP150),
+        node_counts=node_counts,
+        ppns=(1,),
+        repetitions=reps,
+        mode="fixed",
+        seed_base=seed + 2000,
+    )
+    result = study.run()
+    series = []
+    for net in ("ib", "elan"):
+        pts = result.curves[(net, 1)]
+        series.append(
+            DataSeries(
+                label=NETWORK_LABELS[net],
+                x=[float(p.nodes) for p in pts],
+                y=[grind_time_ns(SWEEP150, p.mean_time) for p in pts],
+                x_name="nodes",
+                y_name="grind time (ns/cell-angle-iter)",
+            )
+        )
+    eff = result.efficiency_series()
+    return FigureData(
+        exp_id="fig4",
+        title="Figure 4: Sweep3D 150^3 — grind time and scaling efficiency",
+        series=series + eff,
+        notes="Superlinear 1->4 from the fixed problem dropping into "
+        "cache.  The paper's 25-node InfiniBand spike is an input-set "
+        "anomaly its own Figure 5 discounts; we reproduce the trend.",
+    )
+
+
+def fig5_sweep3d_inputs(quick: bool = False, seed: int = 0) -> FigureData:
+    """Sweep3D input sweep on InfiniBand, normalized at 4 processes."""
+    grids = (100, 150) if quick else (100, 150, 200)
+    node_counts = [4, 9] if quick else [4, 9, 16, 25, 32]
+    reps = 2 if quick else 4
+    series = []
+    for n in grids:
+        config = Sweep3dConfig(n=n)
+        study = ScalingStudy(
+            lambda config=config: sweep3d_program(config),
+            node_counts=node_counts,
+            networks=("ib",),
+            ppns=(1,),
+            repetitions=reps,
+            mode="fixed",
+            seed_base=seed + 3000 + n,
+        )
+        result = study.run()
+        pts = result.curves[("ib", 1)]
+        pairs = fixed_efficiency(
+            pts[0].procs,
+            pts[0].mean_time,
+            [(p.procs, p.mean_time) for p in pts],
+        )
+        series.append(
+            efficiency_series(f"{n}^3 grid (InfiniBand)", pairs)
+        )
+    return FigureData(
+        exp_id="fig5",
+        title="Figure 5: Sweep3D input sets on InfiniBand "
+        "(efficiency normalized at 4 processes)",
+        series=series,
+        notes="The smooth 16->25 trend across inputs shows the paper's "
+        "150^3/25-node point was anomalous.",
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 6: NAS CG
+# --------------------------------------------------------------------------
+
+def fig6_nas_cg(quick: bool = False, seed: int = 0) -> FigureData:
+    """NAS CG class A: MOps/s/process and scaling efficiency."""
+    node_counts = [1, 2, 4] if quick else [1, 2, 4, 8, 16, 32]
+    reps = 2 if quick else 4
+    study = ScalingStudy(
+        lambda: cg_program(CG_CLASS_A),
+        node_counts=node_counts,
+        ppns=(1,),
+        repetitions=reps,
+        mode="fixed",
+        seed_base=seed + 4000,
+    )
+    result = study.run()
+    series = []
+    for net in ("ib", "elan"):
+        pts = result.curves[(net, 1)]
+        series.append(
+            DataSeries(
+                label=NETWORK_LABELS[net],
+                x=[float(p.nodes) for p in pts],
+                y=[
+                    mops_per_process(CG_CLASS_A, p.mean_time, p.procs)
+                    for p in pts
+                ],
+                x_name="nodes",
+                y_name="MOps/s/process",
+            )
+        )
+    eff = result.efficiency_series()
+    return FigureData(
+        exp_id="fig6",
+        title="Figure 6: NAS CG class A — MOps/s/process and efficiency",
+        series=series + eff,
+        notes="Class A stays in cache, so the benchmark is communication "
+        "dominated; both networks drop quickly, Quadrics keeps a growing "
+        "advantage.",
+    )
+
+
+# --------------------------------------------------------------------------
+# Cost analysis: Tables 2/3 and Figure 7
+# --------------------------------------------------------------------------
+
+def table2_3_prices(quick: bool = False, seed: int = 0) -> FigureData:
+    """The list-price tables with provenance flags."""
+    del quick, seed
+    text = render_table(
+        ("Item", "List price", "Provenance"),
+        table_rows(IB_PRICES),
+        title="Table 2: InfiniBand list prices (April 2004)",
+    )
+    text += "\n\n"
+    text += render_table(
+        ("Item", "List price", "Provenance"),
+        table_rows(QUADRICS_PRICES),
+        title="Table 3: Quadrics Elan-4 list prices (April 2004)",
+    )
+    return FigureData(
+        exp_id="table2_3",
+        title="Tables 2 and 3: list prices",
+        text=text,
+        notes="'estimated' rows were lost to OCR in the source scan; "
+        "see DESIGN.md section 5 for how estimates were chosen.",
+    )
+
+
+def fig7_cost(quick: bool = False, seed: int = 0) -> FigureData:
+    """Network cost per port vs network size, four configurations."""
+    del seed
+    sizes = (
+        [8, 16, 32, 64, 128]
+        if quick
+        else [8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024]
+    )
+    series = cost_curves(sizes)
+    gaps = system_cost_gap(1024)
+    return FigureData(
+        exp_id="fig7",
+        log_x=True,
+        title="Figure 7: network cost per port vs size",
+        series=series,
+        notes=(
+            "Total-system gap at 1024 nodes ($2,500 nodes included): "
+            f"Elan-4 vs 96-port IB {gaps['vs_96_port'] * 100:+.1f}%, "
+            f"vs 24+288-port IB {gaps['vs_24_288'] * 100:+.1f}%."
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 8: extrapolation
+# --------------------------------------------------------------------------
+
+def fig8_extrapolation(
+    quick: bool = False,
+    seed: int = 0,
+    membrane_result: Optional[StudyResult] = None,
+) -> FigureData:
+    """Membrane scaling extrapolated to 8192 processors.
+
+    Reuses a Figure 3 study result when provided (the report does this);
+    otherwise runs the membrane sweep itself.
+    """
+    if membrane_result is None:
+        node_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32]
+        reps = 2 if quick else 4
+        study = ScalingStudy(
+            lambda: lammps_program(MEMBRANE),
+            node_counts=node_counts,
+            ppns=(1,),
+            repetitions=reps,
+            mode="scaled",
+            seed_base=seed + 5000,
+        )
+        membrane_result = study.run()
+    series = []
+    out_to = 8192
+    for net in ("ib", "elan"):
+        eff = membrane_result.efficiency(net, 1)
+        series.append(
+            trend_series(NETWORK_LABELS[net], eff, out_to_nodes=out_to)
+        )
+        base_time = membrane_result.curves[(net, 1)][0].mean_time
+        times = extrapolate_scaled_time(base_time, eff, out_to_nodes=out_to)
+        series.append(
+            DataSeries(
+                label=f"{NETWORK_LABELS[net]} time",
+                x=[float(n) for n, _ in times],
+                y=[t / 1e6 for _, t in times],
+                x_name="nodes",
+                y_name="time (s)",
+            )
+        )
+    gap_1024 = None
+    for s in series:
+        if s.label == NETWORK_LABELS["elan"]:
+            elan_1024 = s.at(1024)
+        if s.label == NETWORK_LABELS["ib"]:
+            ib_1024 = s.at(1024)
+    gap_1024 = elan_1024 - ib_1024
+    return FigureData(
+        exp_id="fig8",
+        log_x=True,
+        title="Figure 8: LAMMPS membrane extrapolated to 8192 processors",
+        series=series,
+        notes=(
+            "Trend continuation as in the paper (admittedly optimistic "
+            f"for Elan-4): efficiency gap at 1024 nodes = "
+            f"{gap_1024:.1f} points."
+        ),
+    )
+
+
+def table1_platform(quick: bool = False, seed: int = 0) -> FigureData:
+    """Table 1: the evaluation platform."""
+    del quick, seed
+    return FigureData(
+        exp_id="table1",
+        title="Table 1: evaluation platform",
+        text=render_table1(),
+    )
+
+
+#: Registry of every experiment, keyed by id, in paper order.
+EXPERIMENTS: Dict[str, Callable[..., FigureData]] = {
+    "table1": table1_platform,
+    "fig1a": fig1a_latency,
+    "fig1b": fig1b_bandwidth,
+    "fig1c": fig1c_ratio,
+    "fig1d": fig1d_beff,
+    "fig2": fig2_lammps_ljs,
+    "fig3": fig3_lammps_membrane,
+    "fig4": fig4_sweep3d,
+    "fig5": fig5_sweep3d_inputs,
+    "fig6": fig6_nas_cg,
+    "table2_3": table2_3_prices,
+    "fig7": fig7_cost,
+    "fig8": fig8_extrapolation,
+}

@@ -1,0 +1,150 @@
+"""Scaling-study orchestration: network x PPN x node-count sweeps.
+
+A :class:`ScalingStudy` runs one application program factory across both
+networks, both PPN modes and a list of node counts, with each data point
+averaged over four repetitions on machines seeded differently — exactly
+the paper's methodology ("Each data point is the average of four
+benchmark runs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..mpi import Machine, NETWORK_LABELS
+from ..results import DataSeries, RepStats
+from .efficiency import efficiency_series, fixed_efficiency, scaled_efficiency
+
+#: The paper's repetition count.
+DEFAULT_REPETITIONS = 4
+
+ProgramMaker = Callable[[], Callable]
+
+
+@dataclass
+class StudyPoint:
+    """All repetitions of one (network, ppn, nodes) cell."""
+
+    network: str
+    ppn: int
+    nodes: int
+    stats: RepStats = field(default_factory=RepStats)
+
+    @property
+    def procs(self) -> int:
+        return self.nodes * self.ppn
+
+    @property
+    def mean_time(self) -> float:
+        return self.stats.mean
+
+
+@dataclass
+class StudyResult:
+    """A completed sweep, query-able per curve."""
+
+    #: (network, ppn) -> ordered list of points.
+    curves: Dict[Tuple[str, int], List[StudyPoint]]
+    #: "scaled" or "fixed" study semantics.
+    mode: str
+
+    def curve_label(self, network: str, ppn: int) -> str:
+        return f"{NETWORK_LABELS[network]} {ppn} PPN"
+
+    def times(self, network: str, ppn: int) -> List[Tuple[int, float]]:
+        """(nodes, mean time us) pairs for one curve."""
+        return [
+            (p.nodes, p.mean_time) for p in self.curves[(network, ppn)]
+        ]
+
+    def time_series(self, unit: float = 1.0) -> List[DataSeries]:
+        """Execution-time curves (divide by ``unit``, e.g. 1e6 for s)."""
+        out = []
+        for (network, ppn), points in self.curves.items():
+            out.append(
+                DataSeries(
+                    label=self.curve_label(network, ppn),
+                    x=[float(p.nodes) for p in points],
+                    y=[p.mean_time / unit for p in points],
+                    x_name="nodes",
+                    y_name="time",
+                )
+            )
+        return out
+
+    def efficiency(
+        self, network: str, ppn: int, base_index: int = 0
+    ) -> List[Tuple[int, float]]:
+        """(nodes, efficiency) for one curve, normalized at a base point."""
+        points = self.curves[(network, ppn)]
+        base = points[base_index]
+        pairs = [(p.nodes, p.mean_time) for p in points]
+        if self.mode == "scaled":
+            return scaled_efficiency(base.mean_time, pairs)
+        # Fixed-size: efficiency against process counts.
+        proc_pairs = [(p.procs, p.mean_time) for p in points]
+        eff = fixed_efficiency(base.procs, base.mean_time, proc_pairs)
+        # Re-key by node count for plotting consistency.
+        return [(points[i].nodes, e) for i, (_, e) in enumerate(eff)]
+
+    def efficiency_series(self, base_index: int = 0) -> List[DataSeries]:
+        """Efficiency curves (percent) for every (network, ppn)."""
+        return [
+            efficiency_series(
+                self.curve_label(network, ppn),
+                self.efficiency(network, ppn, base_index),
+            )
+            for (network, ppn) in self.curves
+        ]
+
+
+class ScalingStudy:
+    """Sweep runner for one application benchmark."""
+
+    def __init__(
+        self,
+        program_factory: Callable[[], Callable],
+        node_counts: Sequence[int],
+        networks: Sequence[str] = ("ib", "elan"),
+        ppns: Sequence[int] = (1,),
+        repetitions: int = DEFAULT_REPETITIONS,
+        mode: str = "scaled",
+        seed_base: int = 1000,
+    ) -> None:
+        if not node_counts:
+            raise ConfigurationError("need at least one node count")
+        if mode not in ("scaled", "fixed"):
+            raise ConfigurationError(f"unknown study mode {mode!r}")
+        if repetitions < 1:
+            raise ConfigurationError("need at least one repetition")
+        self.program_factory = program_factory
+        self.node_counts = list(node_counts)
+        self.networks = list(networks)
+        self.ppns = list(ppns)
+        self.repetitions = repetitions
+        self.mode = mode
+        self.seed_base = seed_base
+
+    def run(self, progress: Optional[Callable[[str], None]] = None) -> StudyResult:
+        """Execute the full sweep; deterministic for a fixed seed_base."""
+        curves: Dict[Tuple[str, int], List[StudyPoint]] = {}
+        for network in self.networks:
+            for ppn in self.ppns:
+                points = []
+                for nodes in self.node_counts:
+                    point = StudyPoint(network=network, ppn=ppn, nodes=nodes)
+                    for rep in range(self.repetitions):
+                        seed = self.seed_base + rep
+                        machine = Machine(network, nodes, ppn=ppn, seed=seed)
+                        result = machine.run(self.program_factory())
+                        point.stats.add(max(result.values))
+                    points.append(point)
+                    if progress is not None:
+                        progress(
+                            f"{network} {ppn}ppn {nodes} nodes: "
+                            f"{point.mean_time / 1e3:.1f} ms"
+                        )
+                curves[(network, ppn)] = points
+        return StudyResult(curves=curves, mode=self.mode)

@@ -1,0 +1,56 @@
+"""ASCII table rendering for figures and reports."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..results import DataSeries
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row has {len(row)} cells, expected {cols}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{h:<{widths[i]}}" for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(f"{str(c):<{widths[i]}}" for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series_list: Sequence[DataSeries],
+    title: Optional[str] = None,
+    x_format: str = "{:.0f}",
+    y_format: str = "{:.2f}",
+) -> str:
+    """Series rendered side by side over the union of x values."""
+    if not series_list:
+        return title or ""
+    xs = sorted({x for s in series_list for x in s.x})
+    headers = [series_list[0].x_name] + [s.label for s in series_list]
+    rows = []
+    for x in xs:
+        row = [x_format.format(x)]
+        for s in series_list:
+            try:
+                row.append(y_format.format(s.at(x)))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,41 @@
+"""Cost analysis: price tables, switch arithmetic, Figure 7 curves."""
+
+from .model import (
+    CONFIGS,
+    NetworkCost,
+    cost_curves,
+    elan4_cost,
+    ib288_cost,
+    ib_24_288_cost,
+    ib96_cost,
+    system_cost_gap,
+)
+from .prices import IB_PRICES, NODE_PRICE, Price, QUADRICS_PRICES, table_rows
+from .switchmath import (
+    SwitchCount,
+    best_fabric,
+    max_two_level_nodes,
+    single_chassis,
+    two_level,
+)
+
+__all__ = [
+    "Price",
+    "IB_PRICES",
+    "QUADRICS_PRICES",
+    "NODE_PRICE",
+    "table_rows",
+    "SwitchCount",
+    "single_chassis",
+    "two_level",
+    "best_fabric",
+    "max_two_level_nodes",
+    "NetworkCost",
+    "elan4_cost",
+    "ib96_cost",
+    "ib_24_288_cost",
+    "ib288_cost",
+    "cost_curves",
+    "system_cost_gap",
+    "CONFIGS",
+]

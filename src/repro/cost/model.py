@@ -1,0 +1,178 @@
+"""Network cost models — the paper's Section 5 and Figure 7.
+
+Four network configurations are priced, as in the paper:
+
+1. **Quadrics Elan-4** — QM-500 adapters; one 128-way node-level chassis
+   up to 128 nodes, a federated two-level configuration (64-down leaves
+   plus 128-way top-level chassis) beyond, plus a clock source.
+2. **InfiniBand, 96-port switches** — the largest switch available when
+   the study began (Voltaire ISR 9600).
+3/4. **InfiniBand, 24-port + 288-port switches** — the newer generation
+   that, per the paper, "drops the cost of InfiniBand dramatically".
+
+``cost_per_port`` includes adapters, cables and switching (what the paper
+plots); ``system_cost_per_node`` adds the $2,500 node to reproduce the
+total-system comparison (~4% vs ~51% gaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import CostModelError
+from ..results import DataSeries
+from .prices import IB_PRICES, NODE_PRICE, QUADRICS_PRICES
+from .switchmath import single_chassis, two_level
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Itemized network cost for one configuration at one size."""
+
+    config: str
+    n_nodes: int
+    adapters: float
+    cables: float
+    switching: float
+    extras: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.adapters + self.cables + self.switching + self.extras
+
+    @property
+    def per_port(self) -> float:
+        return self.total / self.n_nodes
+
+    def system_per_node(self, node_price: float = NODE_PRICE) -> float:
+        """Per-node cost of the whole system (network + compute node)."""
+        return self.per_port + node_price
+
+
+def elan4_cost(n_nodes: int) -> NetworkCost:
+    """Quadrics Elan-4 network cost."""
+    if n_nodes < 1:
+        raise CostModelError("need at least one node")
+    p = QUADRICS_PRICES
+    if n_nodes <= 128:
+        sw = single_chassis(n_nodes, 128)
+        switching = p["node_chassis"].dollars
+    else:
+        # Federated: leaves run 64 down / 64 up into 128-way top chassis.
+        sw = two_level(n_nodes, 128, 128)
+        switching = (
+            sw.leaves * p["node_chassis"].dollars
+            + sw.spines * p["top_chassis"].dollars
+        )
+    adapters = n_nodes * p["nic"].dollars
+    cables = n_nodes * p["cable_5m"].dollars + sw.isl_cables * p["cable_3m"].dollars
+    return NetworkCost(
+        config="Quadrics Elan-4",
+        n_nodes=n_nodes,
+        adapters=adapters,
+        cables=cables,
+        switching=switching,
+        extras=p["clock"].dollars,
+    )
+
+
+def _ib_cost(
+    n_nodes: int,
+    config: str,
+    leaf_key: str,
+    leaf_radix: int,
+    spine_key: str,
+    spine_radix: int,
+) -> NetworkCost:
+    if n_nodes < 1:
+        raise CostModelError("need at least one node")
+    p = IB_PRICES
+    if n_nodes <= leaf_radix:
+        sw = single_chassis(n_nodes, leaf_radix)
+        switching = p[leaf_key].dollars
+    else:
+        sw = two_level(n_nodes, leaf_radix, spine_radix)
+        switching = (
+            sw.leaves * p[leaf_key].dollars + sw.spines * p[spine_key].dollars
+        )
+    adapters = n_nodes * p["hca"].dollars
+    cables = (n_nodes + sw.isl_cables) * p["cable"].dollars
+    return NetworkCost(
+        config=config,
+        n_nodes=n_nodes,
+        adapters=adapters,
+        cables=cables,
+        switching=switching,
+    )
+
+
+def ib96_cost(n_nodes: int) -> NetworkCost:
+    """InfiniBand from 96-port switches (first-generation pricing)."""
+    return _ib_cost(
+        n_nodes, "4X InfiniBand (96-port switches)", "switch_96", 96,
+        "switch_96", 96,
+    )
+
+
+def ib_24_288_cost(n_nodes: int) -> NetworkCost:
+    """InfiniBand from 24-port leaves + 288-port spines (new generation).
+
+    Below 24 nodes a single 24-port switch suffices; beyond, 24-port
+    leaves feed 288-port spines (max 12 * 288 = 3,456 nodes).
+    """
+    return _ib_cost(
+        n_nodes, "4X InfiniBand (24+288-port switches)", "switch_24", 24,
+        "switch_288", 288,
+    )
+
+
+def ib288_cost(n_nodes: int) -> NetworkCost:
+    """InfiniBand from 288-port switches only."""
+    return _ib_cost(
+        n_nodes, "4X InfiniBand (288-port switches)", "switch_288", 288,
+        "switch_288", 288,
+    )
+
+
+#: The four Figure 7 configurations, in legend order.
+CONFIGS: Dict[str, Callable[[int], NetworkCost]] = {
+    "Quadrics Elan-4": elan4_cost,
+    "4X InfiniBand (96-port switches)": ib96_cost,
+    "4X InfiniBand (24+288-port switches)": ib_24_288_cost,
+    "4X InfiniBand (288-port switches)": ib288_cost,
+}
+
+
+def cost_curves(sizes: Sequence[int]) -> List[DataSeries]:
+    """Cost-per-port curves over network sizes — Figure 7's content."""
+    out = []
+    for name, fn in CONFIGS.items():
+        xs, ys = [], []
+        for n in sizes:
+            try:
+                ys.append(fn(n).per_port)
+                xs.append(float(n))
+            except CostModelError:
+                continue  # size exceeds this configuration's reach
+        out.append(
+            DataSeries(
+                label=name, x=xs, y=ys, x_name="nodes", y_name="$ per port"
+            )
+        )
+    return out
+
+
+def system_cost_gap(n_nodes: int, node_price: float = NODE_PRICE) -> Dict[str, float]:
+    """Total-system cost of Elan-4 relative to each IB option (ratios).
+
+    The paper's headline: ~4% against 96-port fabrics, ~51% against the
+    new-generation switch combination, at scale with $2,500 nodes.
+    """
+    elan = elan4_cost(n_nodes).system_per_node(node_price)
+    return {
+        "vs_96_port": elan / ib96_cost(n_nodes).system_per_node(node_price) - 1.0,
+        "vs_24_288": elan
+        / ib_24_288_cost(n_nodes).system_per_node(node_price)
+        - 1.0,
+    }

@@ -1,0 +1,87 @@
+"""April-2004 list prices (the paper's Tables 2 and 3).
+
+Provenance matters: the conference scan lost several cells to OCR.  Every
+:class:`Price` records whether its value is **from the paper** or an
+**estimate**; estimates were chosen so the paper's stated cost outcomes
+hold (Elan-4 roughly cost-competitive with IB built from 96-port
+switches; a ~51% total-system gap at scale versus 24+288-port IB fabrics
+with $2,500 nodes).  See DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Price:
+    """One catalogue line item."""
+
+    item: str
+    dollars: float
+    #: True when the number is legible in the paper's table.
+    from_paper: bool
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dollars < 0:
+            raise ValueError(f"negative price for {self.item!r}")
+
+
+#: Table 2 — InfiniBand list prices.
+IB_PRICES: Dict[str, Price] = {
+    "hca": Price("Voltaire HCA 400 4X host channel adapter", 995.0, True),
+    "cable": Price("4X copper cable (host or ISL)", 175.0, True),
+    "switch_24": Price(
+        "24-port 4X switch (new-generation silicon)",
+        6_000.0,
+        False,
+        "OCR-lost; chosen at ~$250/port, the post-2004 switch generation "
+        "the paper credits with InfiniBand's cost drop",
+    ),
+    "switch_96": Price(
+        "Voltaire ISR 9600 96-port switch router",
+        96_000.0,
+        False,
+        "OCR-lost; chosen at ~$1,000/port so Elan-4 is 'relatively cost "
+        "competitive' with 96-port-switch fabrics as the paper finds",
+    ),
+    "switch_288": Price(
+        "288-port 4X switch (new-generation silicon)",
+        60_000.0,
+        False,
+        "OCR-lost; chosen at ~$208/port",
+    ),
+}
+
+#: Table 3 — Quadrics Elan-4 list prices.
+QUADRICS_PRICES: Dict[str, Price] = {
+    "nic": Price(
+        "QM-500 Elan-4 network adapter",
+        1_795.0,
+        False,
+        "OCR-lost; chosen so the Figure 7 parity with IB-96 holds",
+    ),
+    "node_chassis": Price(
+        "QS5A node-level switch chassis (128-way)", 93_000.0, True
+    ),
+    "top_chassis": Price("Top-level switch chassis (128-way)", 110_500.0, True),
+    "clock": Price("QM580 clock source", 1_800.0, True),
+    "cable_5m": Price("QM581-05 EOP link cable, 5 m", 185.0, True),
+    "cable_3m": Price(
+        "QM581-03 EOP link cable, 3 m", 165.0, False, "OCR-lost"
+    ),
+}
+
+#: The paper's lower bound for a rack-mounted dual-processor node.
+NODE_PRICE = 2_500.0
+
+
+def table_rows(prices: Dict[str, Price]) -> List[Tuple[str, str, str]]:
+    """(item, price, provenance) rows for report rendering."""
+    rows = []
+    for price in prices.values():
+        prov = "paper" if price.from_paper else "estimated"
+        rows.append((price.item, f"${price.dollars:,.0f}", prov))
+    return rows

@@ -1,0 +1,77 @@
+"""Switch-count arithmetic for constant-bisection fabrics.
+
+Networks are built either from one chassis (when it has enough ports) or
+as a two-level folded Clos: leaf switches dedicate half their ports to
+hosts and half to uplinks; spine switches aggregate the uplinks.  Counts
+are ceilings — you buy whole switches — which produces the step functions
+visible in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+
+
+@dataclass(frozen=True)
+class SwitchCount:
+    """Bill of switching materials for one network size."""
+
+    leaves: int
+    spines: int
+    #: Inter-switch links (cables beyond the host cables).
+    isl_cables: int
+
+    @property
+    def total_switches(self) -> int:
+        return self.leaves + self.spines
+
+
+def single_chassis(n_nodes: int, radix: int) -> SwitchCount:
+    """One chassis serving every node directly."""
+    if n_nodes < 1:
+        raise CostModelError("need at least one node")
+    if n_nodes > radix:
+        raise CostModelError(
+            f"{n_nodes} nodes exceed a single {radix}-port chassis"
+        )
+    return SwitchCount(leaves=1, spines=0, isl_cables=0)
+
+
+def two_level(n_nodes: int, leaf_radix: int, spine_radix: int) -> SwitchCount:
+    """Folded Clos with half-and-half leaves (full bisection)."""
+    if n_nodes < 1:
+        raise CostModelError("need at least one node")
+    if leaf_radix < 2 or spine_radix < 1:
+        raise CostModelError("bad switch radixes")
+    down_per_leaf = leaf_radix // 2
+    if down_per_leaf < 1:
+        raise CostModelError(f"leaf radix {leaf_radix} too small")
+    max_nodes = down_per_leaf * spine_radix
+    if n_nodes > max_nodes:
+        raise CostModelError(
+            f"{n_nodes} nodes exceed a two-level fabric of "
+            f"{leaf_radix}/{spine_radix}-port switches (max {max_nodes})"
+        )
+    leaves = -(-n_nodes // down_per_leaf)
+    uplinks = leaves * (leaf_radix - down_per_leaf)
+    spines = -(-uplinks // spine_radix)
+    return SwitchCount(leaves=leaves, spines=spines, isl_cables=uplinks)
+
+
+def best_fabric(n_nodes: int, radix: int, spine_radix: int = 0) -> SwitchCount:
+    """Single chassis when possible, else a two-level Clos.
+
+    ``spine_radix`` defaults to ``radix`` (homogeneous switches).
+    """
+    if spine_radix == 0:
+        spine_radix = radix
+    if n_nodes <= radix:
+        return single_chassis(n_nodes, radix)
+    return two_level(n_nodes, radix, spine_radix)
+
+
+def max_two_level_nodes(leaf_radix: int, spine_radix: int) -> int:
+    """Largest network a two-level fabric of these switches supports."""
+    return (leaf_radix // 2) * spine_radix

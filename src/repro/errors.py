@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch one base type.  Exceptions are
+grouped by subsystem: simulation kernel, network/NIC models, MPI layer and
+the study/cost front-ends.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Error in the discrete-event kernel (bad yields, double triggers...)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked."""
+
+    def __init__(self, blocked: int, message: str = "") -> None:
+        self.blocked = blocked
+        text = f"simulation deadlock: {blocked} process(es) still blocked"
+        if message:
+            text = f"{text}: {message}"
+        super().__init__(text)
+
+
+class ConfigurationError(ReproError):
+    """Invalid model or study configuration (bad sizes, counts, prices...)."""
+
+
+class NetworkError(ReproError):
+    """Error in a NIC or fabric model."""
+
+
+class RegistrationError(NetworkError):
+    """Memory-registration failure in the InfiniBand HCA model."""
+
+
+class ConnectionError_(NetworkError):
+    """Queue-pair connection misuse in the InfiniBand model.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`ConnectionError`.
+    """
+
+
+class MpiError(ReproError):
+    """Error in the simulated MPI layer (bad ranks, tags, truncation...)."""
+
+
+class TruncationError(MpiError):
+    """A received message was longer than the posted receive buffer."""
+
+
+class CostModelError(ReproError):
+    """Error in the network cost model (unbuildable topology, bad radix)."""

@@ -1,0 +1,15 @@
+"""Fabric models: links, crossbar and two-level switched topologies."""
+
+from .fabric import (
+    CrossbarFabric,
+    FabricSpec,
+    TwoLevelFabric,
+    routes_are_deterministic,
+)
+
+__all__ = [
+    "CrossbarFabric",
+    "FabricSpec",
+    "TwoLevelFabric",
+    "routes_are_deterministic",
+]

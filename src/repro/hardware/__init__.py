@@ -1,0 +1,22 @@
+"""Host hardware models: nodes, CPUs, buses, cache behaviour."""
+
+from .node import Cpu, Node
+from .specs import (
+    CacheSpec,
+    NodeSpec,
+    PollutionSpec,
+    POWEREDGE_1750,
+    XEON_CACHE,
+    XEON_POLLUTION,
+)
+
+__all__ = [
+    "Cpu",
+    "Node",
+    "NodeSpec",
+    "CacheSpec",
+    "PollutionSpec",
+    "POWEREDGE_1750",
+    "XEON_CACHE",
+    "XEON_POLLUTION",
+]

@@ -1,0 +1,130 @@
+"""Compute-node hardware specifications (the paper's Table 1 platform).
+
+Both test-cluster partitions used identical Dell PowerEdge 1750 servers:
+dual 3.06 GHz Intel Xeon processors, 533 MHz FSB, ServerWorks GC-LE chip
+set, and a 133 MHz PCI-X slot for the high-speed interconnect.  The numbers
+here parameterize the node model; the interconnect-specific numbers live in
+:mod:`repro.networks.params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import KiB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node.
+
+    Bandwidths are in bytes/us (== MB/s); see :mod:`repro.units`.
+    """
+
+    #: Processors per node; the paper runs 1 PPN and 2 PPN on dual-Xeon nodes.
+    cpus: int = 2
+    #: Nominal clock, used only for documentation/reporting.
+    cpu_ghz: float = 3.06
+    #: Per-CPU L2 cache (Xeon "Prestonia" 3.06 GHz: 512 KB L2).
+    l2_bytes: int = 512 * KiB
+    #: PCI-X 64-bit/133 MHz peak is 1066 MB/s; DMA efficiency on the
+    #: ServerWorks GC-LE lands usable payload bandwidth near 950 MB/s.
+    pcix_bandwidth: float = 950.0
+    #: Fixed PCI-X transaction setup cost per DMA (bus arbitration + address
+    #: phase), paid once per pipelined transfer.
+    pcix_dma_overhead: float = 0.20
+    #: Host memory copy bandwidth (one core doing memcpy on a 533 MHz FSB
+    #: system: ~1.5 GB/s effective including read+write traffic).
+    copy_bandwidth: float = 1500.0
+    #: Aggregate memory-bus bandwidth shared by both CPUs and I/O.
+    membus_bandwidth: float = 3200.0
+    #: April-2004 lower-bound price of a rack-mounted dual-processor node,
+    #: as used by the paper's Section 5 cost discussion.
+    list_price: float = 2500.0
+
+    def __post_init__(self) -> None:
+        if self.cpus < 1:
+            raise ConfigurationError("node needs at least one CPU")
+        if self.l2_bytes <= 0:
+            raise ConfigurationError("L2 size must be positive")
+        for field_name in ("pcix_bandwidth", "copy_bandwidth", "membus_bandwidth"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be positive")
+
+    def describe(self) -> str:
+        """One-line summary matching the paper's Table 1 node row."""
+        return (
+            f"Dual {self.cpu_ghz:.2f} GHz Xeon, {self.l2_bytes // KiB} KB L2, "
+            f"PCI-X @ {self.pcix_bandwidth:.0f} MB/s effective"
+        )
+
+
+#: The paper's compute node.
+POWEREDGE_1750 = NodeSpec()
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Parameters of the working-set cache-speed model.
+
+    Kernels whose per-process working set fits in L2 run at full speed;
+    larger working sets pay ``out_of_cache_penalty``; in between the
+    slowdown ramps linearly.  This drives Sweep3D's superlinear 1->4 jump
+    (fixed 150^3 grid shrinking into cache) and CG class A's flat per-process
+    compute rate (chosen to fit in cache at all counts).
+    """
+
+    l2_bytes: int = 512 * KiB
+    #: Slowdown factor once the working set spills far beyond L2.
+    out_of_cache_penalty: float = 1.9
+    #: Working set (relative to L2) at which the penalty saturates.
+    saturation_ratio: float = 8.0
+
+    def speed_factor(self, working_set_bytes: float) -> float:
+        """Multiplier on compute time for a given working set (>= 1.0)."""
+        if working_set_bytes < 0:
+            raise ConfigurationError("working set must be non-negative")
+        ratio = working_set_bytes / self.l2_bytes
+        if ratio <= 1.0:
+            return 1.0
+        if ratio >= self.saturation_ratio:
+            return self.out_of_cache_penalty
+        # Linear ramp from 1.0 at ratio=1 to the full penalty at saturation.
+        frac = (ratio - 1.0) / (self.saturation_ratio - 1.0)
+        return 1.0 + frac * (self.out_of_cache_penalty - 1.0)
+
+
+#: Cache model matching :data:`POWEREDGE_1750`.
+XEON_CACHE = CacheSpec()
+
+#: Pollution model: host-side MPI activity (matching, bounce-buffer copies)
+#: evicts application state from L2.  ``kappa`` converts "bytes handled by
+#: the host MPI library since the last compute region" into a fractional
+#: compute slowdown, capped at ``max_slowdown``.  The Quadrics path does its
+#: matching and data movement on the NIC and so never charges this.
+@dataclass(frozen=True)
+class PollutionSpec:
+    kappa: float = 0.12
+    max_slowdown: float = 0.35
+    l2_bytes: int = 512 * KiB
+    #: Fraction of pollution that also lands on co-resident ranks (shared
+    #: L3-less FSB machine: evictions and bus traffic are node-wide).
+    cross_rank_fraction: float = 1.0
+    #: Compute slowdown imposed on a rank while a co-resident rank
+    #: spin-polls the completion queue (MVAPICH blocks by spinning on the
+    #: front-side bus; the Elan library blocks on an event instead).
+    spin_pressure: float = 0.15
+    #: Compute regions are sliced to this granularity so the spin
+    #: pressure applies only while the neighbour actually spins.
+    spin_slice_us: float = 250.0
+
+    def slowdown(self, polluted_bytes: float) -> float:
+        """Fractional compute slowdown for ``polluted_bytes`` of traffic."""
+        if polluted_bytes <= 0:
+            return 0.0
+        frac = self.kappa * (polluted_bytes / self.l2_bytes)
+        return min(frac, self.max_slowdown)
+
+
+XEON_POLLUTION = PollutionSpec()

@@ -1,0 +1,40 @@
+"""Micro-benchmarks: ping-pong, streaming, effective bandwidth (b_eff)."""
+
+from .beff import BeffResult, beff_sizes, run_beff, run_beff_scaling
+from .bidirectional import (
+    BidirPoint,
+    BidirSeries,
+    bidirectional_program,
+    run_bidirectional,
+)
+from .pingpong import (
+    PingPongPoint,
+    PingPongSeries,
+    pingpong_program,
+    run_pingpong,
+)
+from .streaming import (
+    StreamingPoint,
+    StreamingSeries,
+    run_streaming,
+    streaming_program,
+)
+
+__all__ = [
+    "PingPongPoint",
+    "PingPongSeries",
+    "pingpong_program",
+    "run_pingpong",
+    "StreamingPoint",
+    "StreamingSeries",
+    "streaming_program",
+    "run_streaming",
+    "BeffResult",
+    "beff_sizes",
+    "run_beff",
+    "run_beff_scaling",
+    "BidirPoint",
+    "BidirSeries",
+    "bidirectional_program",
+    "run_bidirectional",
+]

@@ -1,0 +1,113 @@
+"""Bidirectional bandwidth (the companion micro-benchmark of [12]).
+
+Both processes stream simultaneously in opposite directions.  The wire is
+full duplex on both technologies, but the *PCI-X bus is not*: inbound and
+outbound DMA share the one 133 MHz bus, so bidirectional bandwidth lands
+well below 2x unidirectional — a host-interface ceiling the paper's
+Section 2 platform description implies and era measurements confirmed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..mpi import Machine, MpiRank
+from ..units import MiB, pow2_sizes
+from .streaming import default_message_count
+
+
+@dataclass
+class BidirPoint:
+    """One message-size bidirectional measurement."""
+
+    size: int
+    total_us: float
+    messages_each_way: int
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate (sum of both directions) bandwidth in MB/s."""
+        if self.size == 0:
+            return 0.0
+        return 2.0 * self.messages_each_way * self.size / self.total_us
+
+
+@dataclass
+class BidirSeries:
+    """A full bidirectional sweep on one network."""
+
+    network: str
+    points: List[BidirPoint]
+
+    def bandwidth(self, size: int) -> float:
+        for p in self.points:
+            if p.size == size:
+                return p.bandwidth
+        raise KeyError(f"size {size} not measured")
+
+    @property
+    def sizes(self) -> List[int]:
+        return [p.size for p in self.points]
+
+
+def bidirectional_program(size: int, count: int, window: int = 32):
+    """Program factory: both ranks stream ``count`` messages at once."""
+    if count < 1 or window < 1:
+        raise ConfigurationError("bad bidirectional parameters")
+
+    def program(mpi: MpiRank) -> Generator[Any, Any, Optional[float]]:
+        if mpi.size < 2:
+            raise ConfigurationError("bidirectional needs two ranks")
+        if mpi.rank > 1:
+            return None
+        peer = 1 - mpi.rank
+        tag = 11
+        recvs = []
+        for _ in range(count):
+            r = yield from mpi.irecv(source=peer, tag=tag, size=size)
+            recvs.append(r)
+        yield from mpi.barrier()
+        t0 = mpi.now
+        outstanding = []
+        for _ in range(count):
+            s = yield from mpi.isend(dest=peer, size=size, tag=tag)
+            outstanding.append(s)
+            if len(outstanding) >= window:
+                yield from mpi.waitall(outstanding)
+                outstanding = []
+        yield from mpi.waitall(outstanding)
+        yield from mpi.waitall(recvs)
+        return mpi.now - t0
+
+    return program
+
+
+def run_bidirectional(
+    network: str,
+    sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    count=None,
+    window: int = 32,
+) -> BidirSeries:
+    """Measure a bidirectional sweep on a fresh two-node machine per size."""
+    if sizes is None:
+        sizes = pow2_sizes(1 * MiB, include_zero=False)
+    count_of = (
+        count
+        if callable(count)
+        else (lambda s: count)
+        if count is not None
+        else default_message_count
+    )
+    points = []
+    for size in sizes:
+        n = count_of(size)
+        machine = Machine(network, n_nodes=2, ppn=1, seed=seed)
+        result = machine.run(bidirectional_program(size, n, window=window))
+        elapsed = max(v for v in result.values if v is not None)
+        points.append(
+            BidirPoint(size=size, total_us=elapsed, messages_each_way=n)
+        )
+    return BidirSeries(network=network, points=points)

@@ -1,0 +1,26 @@
+"""The simulated MPI layer: facade, matching, communicators, machines."""
+
+from .api import MpiRank
+from .communicator import Communicator
+from .context import MpiImpl, RankContext
+from .machine import Machine, NETWORK_LABELS, NETWORKS, RunResult, build_machine
+from .matching import ANY_SOURCE, ANY_TAG, Envelope, MatchQueue
+from .request import Request, Status
+
+__all__ = [
+    "MpiRank",
+    "Communicator",
+    "MpiImpl",
+    "RankContext",
+    "Machine",
+    "RunResult",
+    "build_machine",
+    "NETWORKS",
+    "NETWORK_LABELS",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Envelope",
+    "MatchQueue",
+    "Request",
+    "Status",
+]

@@ -1,0 +1,252 @@
+"""The per-rank MPI facade that simulated programs code against.
+
+A program is a generator function taking one :class:`MpiRank`:
+
+.. code-block:: python
+
+    def pingpong(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=1024)
+            yield from mpi.recv(source=1, size=1024)
+        else:
+            yield from mpi.recv(source=0, size=1024)
+            yield from mpi.send(dest=0, size=1024)
+
+Every method is a generator (``yield from`` it); sizes are bytes and the
+clock is the simulation clock (``mpi.now``).  Communication defaults to
+the world communicator; pass ``comm=`` to address a subgroup by its group
+ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from ..errors import MpiError
+from .collectives import algorithms as _coll
+from .communicator import Communicator
+from .context import MpiImpl, RankContext
+from .matching import ANY_SOURCE, ANY_TAG
+from .request import Request, Status
+
+
+class MpiRank:
+    """One process's view of the message-passing machine."""
+
+    def __init__(
+        self, ctx: RankContext, impl: MpiImpl, world: Communicator
+    ) -> None:
+        self.ctx = ctx
+        self.impl = impl
+        self.world = world
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """World rank of this process."""
+        return self.ctx.rank
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self.ctx.size
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (us)."""
+        return self.ctx.sim.now
+
+    def comm_rank(self, comm: Optional[Communicator]) -> int:
+        """This process's group rank in ``comm`` (world rank if None)."""
+        if comm is None:
+            return self.rank
+        return comm.rank_of(self.rank)
+
+    def _world_peer(self, peer: int, comm: Optional[Communicator]) -> int:
+        if comm is None:
+            return peer
+        if peer == ANY_SOURCE:
+            return ANY_SOURCE
+        return comm.world_rank(peer)
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def isend(
+        self,
+        dest: int,
+        size: int,
+        tag: int = 0,
+        buf: Any = None,
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, Request]:
+        """Start a non-blocking send of ``size`` bytes."""
+        req = yield from self.impl.isend(
+            self.ctx, self._world_peer(dest, comm), size, tag, buf
+        )
+        return req
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        size: int = 0,
+        buf: Any = None,
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, Request]:
+        """Start a non-blocking receive into a ``size``-byte buffer."""
+        req = yield from self.impl.irecv(
+            self.ctx, self._world_peer(source, comm), tag, size, buf
+        )
+        return req
+
+    def send(
+        self,
+        dest: int,
+        size: int,
+        tag: int = 0,
+        buf: Any = None,
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, None]:
+        """Blocking send (isend + wait)."""
+        req = yield from self.isend(dest, size, tag=tag, buf=buf, comm=comm)
+        yield from self.wait(req)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        size: int = 0,
+        buf: Any = None,
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, Status]:
+        """Blocking receive; returns the completion status."""
+        req = yield from self.irecv(source, tag, size, buf=buf, comm=comm)
+        yield from self.wait(req)
+        return req.status
+
+    def wait(self, request: Request) -> Generator[Any, Any, None]:
+        """Block until one request completes (progressing as needed)."""
+        yield from self.impl.wait(self.ctx, request)
+
+    def waitall(self, requests: List[Request]) -> Generator[Any, Any, None]:
+        """Block until every request completes."""
+        yield from self.impl.waitall(self.ctx, list(requests))
+
+    def test(self, request: Request) -> Generator[Any, Any, bool]:
+        """Non-blocking completion check with one progress poke."""
+        done = yield from self.impl.test(self.ctx, request)
+        return done
+
+    def sendrecv(
+        self,
+        dest: int,
+        send_size: int,
+        source: int,
+        recv_size: int,
+        tag: int = 0,
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, Status]:
+        """Simultaneous send and receive (deadlock-free exchange)."""
+        rreq = yield from self.irecv(source, tag, recv_size, comm=comm)
+        sreq = yield from self.isend(dest, send_size, tag=tag, comm=comm)
+        yield from self.wait(sreq)
+        yield from self.wait(rreq)
+        return rreq.status
+
+    # -- compute ------------------------------------------------------------------
+
+    def compute(self, duration_us: float) -> Generator[Any, Any, None]:
+        """Application compute: occupies this rank's CPU, no MPI progress.
+
+        On the host-based implementation this is where accumulated cache
+        pollution from MPI activity is paid back as slowdown.
+        """
+        yield from self.impl.compute(self.ctx, duration_us)
+
+    # -- collectives -----------------------------------------------------------------
+
+    def _comm(self, comm: Optional[Communicator]) -> Communicator:
+        c = comm if comm is not None else self.world
+        if not c.contains(self.rank):
+            raise MpiError(
+                f"rank {self.rank} called a collective on {c.name!r} "
+                "without being a member"
+            )
+        return c
+
+    def barrier(
+        self, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Barrier over ``comm``.
+
+        Uses the switch-assisted hardware barrier when the implementation
+        offers one (Elan-4 with ``hw_collectives`` enabled), else the
+        dissemination algorithm over point-to-point messages.
+        """
+        c = self._comm(comm)
+        if getattr(self.impl, "hw_collectives", False) and c.size > 1:
+            yield from self.impl.hw_barrier(self.ctx, c)
+        else:
+            yield from _coll.barrier(self, c)
+
+    def bcast(
+        self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Broadcast of ``nbytes`` from group rank ``root``.
+
+        Switch-replicated when hardware collectives are enabled, else the
+        binomial tree.
+        """
+        c = self._comm(comm)
+        if getattr(self.impl, "hw_collectives", False) and c.size > 1:
+            yield from self.impl.hw_bcast(self.ctx, c, nbytes, root)
+        else:
+            yield from _coll.bcast(self, c, nbytes, root)
+
+    def reduce(
+        self, nbytes: int, root: int = 0, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Binomial reduction of ``nbytes`` to group rank ``root``."""
+        yield from _coll.reduce(self, self._comm(comm), nbytes, root)
+
+    def allreduce(
+        self, nbytes: int, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Recursive-doubling allreduce of ``nbytes``."""
+        yield from _coll.allreduce(self, self._comm(comm), nbytes)
+
+    def allgather(
+        self, nbytes_each: int, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Ring allgather contributing ``nbytes_each`` per process."""
+        yield from _coll.allgather(self, self._comm(comm), nbytes_each)
+
+    def alltoall(
+        self, nbytes_each: int, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Pairwise alltoall of ``nbytes_each`` per peer."""
+        yield from _coll.alltoall(self, self._comm(comm), nbytes_each)
+
+    def gather(
+        self, nbytes_each: int, root: int = 0, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Binomial gather of ``nbytes_each`` per process to ``root``."""
+        yield from _coll.gather(self, self._comm(comm), nbytes_each, root)
+
+    def scatter(
+        self, nbytes_each: int, root: int = 0, comm: Optional[Communicator] = None
+    ) -> Generator[Any, Any, None]:
+        """Binomial scatter of ``nbytes_each`` per process from ``root``."""
+        yield from _coll.scatter(self, self._comm(comm), nbytes_each, root)
+
+    def alltoallv(
+        self,
+        send_sizes: List[int],
+        recv_sizes: List[int],
+        comm: Optional[Communicator] = None,
+    ) -> Generator[Any, Any, None]:
+        """Pairwise alltoallv with per-peer byte counts."""
+        yield from _coll.alltoallv(
+            self, self._comm(comm), send_sizes, recv_sizes
+        )

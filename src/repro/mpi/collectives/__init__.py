@@ -1,0 +1,5 @@
+"""Collective-communication algorithms over point-to-point messages."""
+
+from . import algorithms
+
+__all__ = ["algorithms"]

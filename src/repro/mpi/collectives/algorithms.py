@@ -1,0 +1,308 @@
+"""Collective algorithms over point-to-point operations.
+
+Both era MPI implementations built collectives from point-to-point
+messages with the classic MPICH algorithm suite, so one shared set of
+algorithms runs over either transport — any performance difference between
+the networks flows from the p2p layer, as it did on the testbed.
+
+All functions are generators taking the per-rank MPI facade
+(:class:`repro.mpi.api.MpiRank`) and a :class:`Communicator`.  Message
+sizes are bytes; reduction arithmetic is charged as compute time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, TYPE_CHECKING
+
+from ...errors import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import MpiRank
+    from ..communicator import Communicator
+
+#: Reduction arithmetic cost: one double-precision op per 8 bytes on a
+#: ~3 GHz Xeon, amortized: ~0.0006 us/byte.
+REDUCE_US_PER_BYTE = 0.0006
+
+
+def _log2_ceil(n: int) -> int:
+    k = 0
+    while (1 << k) < n:
+        k += 1
+    return k
+
+
+def barrier(api: "MpiRank", comm: "Communicator") -> Generator[Any, Any, None]:
+    """Dissemination barrier: ceil(log2 n) rounds of 0-byte exchanges."""
+    n = comm.size
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    for k in range(_log2_ceil(n)):
+        dist = 1 << k
+        to = comm.world_rank((me + dist) % n)
+        frm = comm.world_rank((me - dist) % n)
+        rreq = yield from api.irecv(source=frm, tag=tag + 0, size=0)
+        sreq = yield from api.isend(dest=to, size=0, tag=tag + 0)
+        yield from api.wait(sreq)
+        yield from api.wait(rreq)
+
+
+def bcast(
+    api: "MpiRank", comm: "Communicator", nbytes: int, root: int = 0
+) -> Generator[Any, Any, None]:
+    """Binomial-tree broadcast rooted at group rank ``root``."""
+    n = comm.size
+    _raise_size(nbytes)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    vrank = (me - root) % n  # virtual rank with root at 0
+    mask = 1
+    # Receive phase: wait for the parent.
+    while mask < n:
+        if vrank & mask:
+            parent = comm.world_rank(((vrank & ~mask) + root) % n)
+            yield from api.recv(source=parent, tag=tag, size=nbytes)
+            break
+        mask <<= 1
+    # Send phase: forward to children below the break mask.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < n and not vrank & (mask - 1) and vrank & mask == 0:
+            child = comm.world_rank(((vrank | mask) + root) % n)
+            yield from api.send(dest=child, size=nbytes, tag=tag)
+        mask >>= 1
+
+
+def reduce(
+    api: "MpiRank", comm: "Communicator", nbytes: int, root: int = 0
+) -> Generator[Any, Any, None]:
+    """Binomial-tree reduction to group rank ``root``."""
+    n = comm.size
+    _raise_size(nbytes)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    vrank = (me - root) % n
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            parent = comm.world_rank(((vrank & ~mask) + root) % n)
+            yield from api.send(dest=parent, size=nbytes, tag=tag)
+            break
+        partner = vrank | mask
+        if partner < n:
+            child = comm.world_rank((partner + root) % n)
+            yield from api.recv(source=child, tag=tag, size=nbytes)
+            yield from api.compute(nbytes * REDUCE_US_PER_BYTE)
+        mask <<= 1
+
+
+def allreduce(
+    api: "MpiRank", comm: "Communicator", nbytes: int
+) -> Generator[Any, Any, None]:
+    """Recursive-doubling allreduce (MPICH's small/medium algorithm).
+
+    Non-power-of-two groups fold the remainder into the nearest power of
+    two first, exactly as MPICH does.
+    """
+    n = comm.size
+    _raise_size(nbytes)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    pof2 = 1 << (_log2_ceil(n + 1) - 1)
+    if pof2 > n:
+        pof2 >>= 1
+    rem = n - pof2
+    newrank = -1
+    if me < 2 * rem:
+        if me % 2 == 0:  # even remainder ranks hand off and sit out
+            yield from api.send(dest=comm.world_rank(me + 1), size=nbytes, tag=tag)
+        else:
+            yield from api.recv(source=comm.world_rank(me - 1), tag=tag, size=nbytes)
+            yield from api.compute(nbytes * REDUCE_US_PER_BYTE)
+            newrank = me // 2
+    else:
+        newrank = me - rem
+    if newrank >= 0:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (
+                partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            )
+            w = comm.world_rank(partner)
+            rreq = yield from api.irecv(source=w, tag=tag, size=nbytes)
+            sreq = yield from api.isend(dest=w, size=nbytes, tag=tag)
+            yield from api.wait(sreq)
+            yield from api.wait(rreq)
+            yield from api.compute(nbytes * REDUCE_US_PER_BYTE)
+            mask <<= 1
+    # Fold the result back out to the sidelined even ranks.
+    if me < 2 * rem:
+        if me % 2:
+            yield from api.send(dest=comm.world_rank(me - 1), size=nbytes, tag=tag)
+        else:
+            yield from api.recv(source=comm.world_rank(me + 1), tag=tag, size=nbytes)
+
+
+def allgather(
+    api: "MpiRank", comm: "Communicator", nbytes_each: int
+) -> Generator[Any, Any, None]:
+    """Ring allgather: n-1 steps, each forwarding one block."""
+    n = comm.size
+    _raise_size(nbytes_each)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    right = comm.world_rank((me + 1) % n)
+    left = comm.world_rank((me - 1) % n)
+    for _ in range(n - 1):
+        rreq = yield from api.irecv(source=left, tag=tag, size=nbytes_each)
+        sreq = yield from api.isend(dest=right, size=nbytes_each, tag=tag)
+        yield from api.wait(sreq)
+        yield from api.wait(rreq)
+
+
+def alltoall(
+    api: "MpiRank", comm: "Communicator", nbytes_each: int
+) -> Generator[Any, Any, None]:
+    """Pairwise-exchange alltoall (n-1 rounds, partner = rank xor/shift)."""
+    n = comm.size
+    _raise_size(nbytes_each)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    is_pof2 = (n & (n - 1)) == 0
+    for step in range(1, n):
+        partner = me ^ step if is_pof2 else (me + step) % n
+        if not is_pof2:
+            send_to = comm.world_rank((me + step) % n)
+            recv_from = comm.world_rank((me - step) % n)
+        else:
+            send_to = recv_from = comm.world_rank(partner)
+        rreq = yield from api.irecv(source=recv_from, tag=tag, size=nbytes_each)
+        sreq = yield from api.isend(dest=send_to, size=nbytes_each, tag=tag)
+        yield from api.wait(sreq)
+        yield from api.wait(rreq)
+
+
+def gather(
+    api: "MpiRank", comm: "Communicator", nbytes_each: int, root: int = 0
+) -> Generator[Any, Any, None]:
+    """Binomial-tree gather: leaves send up, inner nodes forward subtrees.
+
+    A process ``mask`` levels up the tree forwards ``2^level`` blocks, so
+    wire volume matches MPICH's binomial gather exactly.
+    """
+    n = comm.size
+    _raise_size(nbytes_each)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    vrank = (me - root) % n
+    mask = 1
+    blocks = 1  # blocks already held (own contribution)
+    while mask < n:
+        if vrank & mask:
+            parent = comm.world_rank(((vrank & ~mask) + root) % n)
+            yield from api.send(dest=parent, size=blocks * nbytes_each, tag=tag)
+            break
+        partner = vrank | mask
+        if partner < n:
+            child = comm.world_rank((partner + root) % n)
+            incoming = min(mask, n - partner)
+            yield from api.recv(
+                source=child, tag=tag, size=incoming * nbytes_each
+            )
+            blocks += incoming
+        mask <<= 1
+
+
+def scatter(
+    api: "MpiRank", comm: "Communicator", nbytes_each: int, root: int = 0
+) -> Generator[Any, Any, None]:
+    """Binomial-tree scatter (gather's mirror image)."""
+    n = comm.size
+    _raise_size(nbytes_each)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    vrank = (me - root) % n
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            parent = comm.world_rank(((vrank & ~mask) + root) % n)
+            incoming = min(mask, n - vrank)
+            yield from api.recv(
+                source=parent, tag=tag, size=incoming * nbytes_each
+            )
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < n:
+            child = comm.world_rank(((vrank | mask) + root) % n)
+            outgoing = min(mask, n - (vrank + mask))
+            yield from api.send(
+                dest=child, size=outgoing * nbytes_each, tag=tag
+            )
+        mask >>= 1
+
+
+def alltoallv(
+    api: "MpiRank",
+    comm: "Communicator",
+    send_sizes: "List[int]",
+    recv_sizes: "List[int]",
+) -> Generator[Any, Any, None]:
+    """Pairwise alltoallv with per-peer byte counts.
+
+    ``send_sizes[i]``/``recv_sizes[i]`` are the bytes this process sends
+    to / receives from group rank ``i``; zero-size pairs are skipped (as
+    MPICH does).  All members must pass mutually consistent counts.
+    """
+    n = comm.size
+    if len(send_sizes) != n or len(recv_sizes) != n:
+        raise MpiError(
+            f"alltoallv needs {n} sizes, got "
+            f"{len(send_sizes)}/{len(recv_sizes)}"
+        )
+    for s in list(send_sizes) + list(recv_sizes):
+        _raise_size(s)
+    if n == 1:
+        return
+    me = comm.rank_of(api.rank)
+    tag = comm.next_collective_tag(me)
+    for step in range(1, n):
+        to = (me + step) % n
+        frm = (me - step) % n
+        reqs = []
+        if recv_sizes[frm] > 0:
+            r = yield from api.irecv(
+                source=comm.world_rank(frm), tag=tag, size=recv_sizes[frm]
+            )
+            reqs.append(r)
+        if send_sizes[to] > 0:
+            s = yield from api.isend(
+                dest=comm.world_rank(to), size=send_sizes[to], tag=tag
+            )
+            reqs.append(s)
+        if reqs:
+            yield from api.waitall(reqs)
+
+
+def _raise_size(nbytes: int) -> bool:
+    if nbytes < 0:
+        raise MpiError(f"negative collective size: {nbytes}")
+    return False

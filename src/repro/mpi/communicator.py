@@ -1,0 +1,112 @@
+"""Communicators: ordered process groups with private tag spaces.
+
+A :class:`Communicator` maps group-local ranks to world ranks and carries a
+collective-operation counter per member so collective traffic gets unique
+tags without cross-talk between overlapping communicators — the same role
+MPI context ids play.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+from ..errors import MpiError
+
+#: Collective tags start here; application tags must stay below.
+COLLECTIVE_TAG_BASE = 1 << 20
+#: Distinct context ids are spaced this far apart in tag space.
+_CONTEXT_STRIDE = 1 << 12
+
+
+def _context_id(name: str, ranks: Sequence[int]) -> int:
+    """Deterministic context id from the group identity.
+
+    Communicator creation is collective: every member constructs its own
+    :class:`Communicator` object for the same group.  Deriving the context
+    id from ``(name, members)`` makes those per-rank instances agree on a
+    tag space without any global coordination — the invariant is that two
+    *different* communicators over the same members need different names.
+    """
+    h = hashlib.blake2b(digest_size=4)
+    h.update(name.encode("utf-8"))
+    for r in ranks:
+        h.update(int(r).to_bytes(8, "little", signed=True))
+    return int.from_bytes(h.digest(), "little")
+
+
+class Communicator:
+    """An ordered group of world ranks."""
+
+    def __init__(self, world_ranks: Sequence[int], name: str = "comm") -> None:
+        ranks = list(world_ranks)
+        if not ranks:
+            raise MpiError("empty communicator")
+        if len(set(ranks)) != len(ranks):
+            raise MpiError(f"duplicate ranks in communicator: {ranks}")
+        self.world_ranks: List[int] = ranks
+        self.name = name
+        self._index: Dict[int, int] = {w: i for i, w in enumerate(ranks)}
+        self.context_id = _context_id(name, ranks)
+        #: Per-member collective sequence numbers (keyed by group rank).
+        self._op_counters: Dict[int, int] = {i: 0 for i in range(len(ranks))}
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the group."""
+        return len(self.world_ranks)
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of a world rank (raises if not a member)."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise MpiError(
+                f"world rank {world_rank} not in communicator {self.name!r}"
+            )
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank of a group rank."""
+        if not 0 <= group_rank < self.size:
+            raise MpiError(
+                f"group rank {group_rank} out of range in {self.name!r}"
+            )
+        return self.world_ranks[group_rank]
+
+    def contains(self, world_rank: int) -> bool:
+        """Membership test by world rank."""
+        return world_rank in self._index
+
+    def next_collective_tag(self, group_rank: int) -> int:
+        """A tag for the next collective call by ``group_rank``.
+
+        All members call collectives in the same order (an MPI requirement),
+        so per-member counters stay in lockstep and every member computes
+        the same tag for the same operation.
+        """
+        n = self._op_counters[group_rank]
+        self._op_counters[group_rank] = n + 1
+        return (
+            COLLECTIVE_TAG_BASE
+            + (self.context_id % _CONTEXT_STRIDE) * _CONTEXT_STRIDE
+            + (n % _CONTEXT_STRIDE)
+        )
+
+    def split(self, color_of: Dict[int, int], name: str = "split") -> Dict[int, "Communicator"]:
+        """Partition into sub-communicators by color (world-rank keyed).
+
+        Returns ``{color: Communicator}``; rank order within each color
+        follows world-rank order, as MPI_Comm_split with equal keys does.
+        """
+        by_color: Dict[int, List[int]] = {}
+        for w in self.world_ranks:
+            if w not in color_of:
+                raise MpiError(f"split missing color for world rank {w}")
+            by_color.setdefault(color_of[w], []).append(w)
+        return {
+            color: Communicator(sorted(members), name=f"{name}.{color}")
+            for color, members in sorted(by_color.items())
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Communicator {self.name} size={self.size}>"

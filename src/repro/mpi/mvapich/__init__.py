@@ -1,0 +1,5 @@
+"""MVAPICH-style MPI implementation over the InfiniBand HCA model."""
+
+from .impl import MvapichImpl
+
+__all__ = ["MvapichImpl"]

@@ -1,0 +1,5 @@
+"""Quadrics MPI implementation over the Tports/Elan-4 model."""
+
+from .impl import QMpiImpl
+
+__all__ = ["QMpiImpl"]

@@ -1,0 +1,290 @@
+"""Quadrics MPI over the Tports/Elan-4 model.
+
+Thin by design — which is the point the paper makes about interface match:
+Tports already provides tagged, ordered, two-sided message passing with
+matching, buffering and progress on the NIC, so MPI_Send maps to a Tports
+transmit and MPI_Recv to a Tports receive posting.  The host's only work
+is issuing commands and waiting on completion events; requests complete
+asynchronously while the host computes (independent progress), and no
+host-side copies pollute the cache.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Tuple
+
+from ...errors import MpiError
+from ...networks.elan import ElanNic
+from ...networks.params import ElanParams
+from ...sim import Event
+from ..communicator import Communicator
+from ..context import MpiImpl, RankContext
+from ..matching import ANY_SOURCE, validate_rank, validate_tag
+from ..request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...sim import Simulator
+
+
+def _succeed_after(sim: "Simulator", delay: float, event: Event):
+    """Trigger ``event`` after ``delay`` microseconds."""
+    yield sim.timeout(delay)
+    event.succeed(sim.now)
+
+
+class _HwBarrier:
+    """One in-flight hardware barrier: arrivals plus a completion event."""
+
+    __slots__ = ("expected", "arrived", "done")
+
+    def __init__(self, sim: "Simulator", expected: int) -> None:
+        self.expected = expected
+        self.arrived = 0
+        self.done = Event(sim)
+
+
+class _QState:
+    """Per-rank statistics (the protocol state lives on the NIC)."""
+
+    def __init__(self) -> None:
+        self.tx_count = 0
+        self.rx_count = 0
+
+
+class QMpiImpl(MpiImpl):
+    """The Quadrics MPI implementation (one instance per machine)."""
+
+    name = "Quadrics MPI / Tports (model)"
+    independent_progress = True
+    offload = True
+
+    def __init__(self, sim: "Simulator", params: ElanParams) -> None:
+        self.sim = sim
+        self.params = params
+        self._ranks: Dict[int, Tuple[RankContext, ElanNic]] = {}
+        #: Hardware-collective bookkeeping (see :meth:`hw_barrier`).
+        self._hw_barriers: Dict[tuple, _HwBarrier] = {}
+        self._hw_seqs: Dict[tuple, Dict[int, int]] = {}
+        self._hw_pending_roots: Dict[tuple, tuple] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def register_rank(self, ctx: RankContext, nic: ElanNic) -> None:
+        """Bind a rank to its Elan adapter; creates the Tports context."""
+        nic.attach_rank(ctx.rank)
+        ctx.impl_state = _QState()
+        self._ranks[ctx.rank] = (ctx, nic)
+
+    def _peer_nic(self, rank: int) -> ElanNic:
+        try:
+            return self._ranks[rank][1]
+        except KeyError:
+            raise MpiError(f"rank {rank} not registered with Quadrics model")
+
+    def init(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        """MPI_Init: allocate the job capability — once, not per peer.
+
+        Connectionless: the cost does not scale with the number of
+        processes (contrast :meth:`MvapichImpl.init`).
+        """
+        yield from ctx.cpu.busy(self.params.capability_setup, kind="mpi")
+
+    # -- point to point -------------------------------------------------------
+
+    def isend(
+        self, ctx: RankContext, dest: int, size: int, tag: int, buf: Any
+    ) -> Generator[Event, Any, Request]:
+        validate_rank(dest, ctx.size, "destination")
+        validate_tag(tag)
+        if size < 0:
+            raise MpiError(f"negative message size: {size}")
+        del buf  # no registration concept: the Elan MMU translates on the fly
+        state: _QState = ctx.impl_state
+        state.tx_count += 1
+        ctx.sends += 1
+        ctx.bytes_sent += size
+        nic = self._ranks[ctx.rank][1]
+        handle = nic.tx(ctx.cpu, ctx.rank, self._peer_nic(dest), dest, tag, size)
+        req = Request(
+            kind="send", peer=dest, tag=tag, size=size, done=handle.done
+        )
+        # isend returns after issuing the command; give the command-post
+        # time a chance to be charged in-order on this rank's CPU.
+        yield self.sim.timeout(0.0)
+        return req
+
+    def irecv(
+        self, ctx: RankContext, source: int, tag: int, size: int, buf: Any
+    ) -> Generator[Event, Any, Request]:
+        if source != ANY_SOURCE:
+            validate_rank(source, ctx.size, "source")
+        del buf
+        state: _QState = ctx.impl_state
+        state.rx_count += 1
+        ctx.recvs += 1
+        nic = self._ranks[ctx.rank][1]
+        handle = nic.post_rx(ctx.cpu, ctx.rank, source, tag, size)
+        req = Request(kind="recv", peer=source, tag=tag, size=size, done=handle.done)
+        req.impl_state = handle
+        yield self.sim.timeout(0.0)
+        return req
+
+    def wait(
+        self, ctx: RankContext, request: Request
+    ) -> Generator[Event, Any, None]:
+        """Sleep on the completion event — no polling, no progress duty.
+
+        The NIC delivers and completes regardless of what this host rank
+        does in the meantime; waiting costs nothing but time.
+        """
+        status = yield request.done
+        handle = request.impl_state
+        if request.kind == "recv" and handle is not None:
+            ctx.bytes_received += handle.matched_size
+            request.status.source = handle.matched_source
+            request.status.tag = handle.matched_tag
+            request.status.size = handle.matched_size
+        del status
+
+    def test(
+        self, ctx: RankContext, request: Request
+    ) -> Generator[Event, Any, bool]:
+        yield from ctx.cpu.busy(0.05, kind="mpi")  # read the event word
+        if request.completed and request.kind == "recv":
+            handle = request.impl_state
+            if handle is not None and request.status.size < 0:
+                request.status.source = handle.matched_source
+                request.status.tag = handle.matched_tag
+                request.status.size = handle.matched_size
+        return request.completed
+
+    # -- hardware collectives (QsNetII switch-assisted) -------------------------
+
+    @property
+    def hw_collectives(self) -> bool:
+        """Whether switch-assisted barrier/broadcast are enabled."""
+        return self.params.hw_collectives
+
+    def _hw_slot(self, ctx: RankContext, comm: Communicator, kind: str):
+        """The shared in-flight operation object for this rank's next
+        ``kind`` collective on ``comm`` (all members resolve the same
+        slot because collective calls are ordered)."""
+        seqs = self._hw_seqs.setdefault((comm.context_id, kind), {})
+        my_seq = seqs.get(ctx.rank, 0)
+        seqs[ctx.rank] = my_seq + 1
+        return (comm.context_id, kind, my_seq)
+
+    def hw_barrier(
+        self, ctx: RankContext, comm: Communicator
+    ) -> Generator[Event, Any, None]:
+        """Switch-tree barrier: completes a fixed latency after the last
+        arrival, independent of group size within the chassis."""
+        yield from ctx.cpu.busy(self.params.command_post, kind="mpi")
+        key = self._hw_slot(ctx, comm, "barrier")
+        bar = self._hw_barriers.get(key)
+        if bar is None:
+            bar = _HwBarrier(self.sim, comm.size)
+            self._hw_barriers[key] = bar
+        bar.arrived += 1
+        if bar.arrived == bar.expected:
+            del self._hw_barriers[key]
+            self.sim.spawn(
+                _succeed_after(self.sim, self.params.hw_barrier_latency, bar.done),
+                name="elan.hwbar",
+            )
+        yield bar.done
+        yield from ctx.cpu.busy(self.params.event_delivery, kind="mpi")
+
+    def hw_bcast(
+        self, ctx: RankContext, comm: Communicator, nbytes: int, root: int
+    ) -> Generator[Event, Any, None]:
+        """Switch-replicated broadcast: the payload crosses the root's
+        uplink once and every member's downlink in parallel."""
+        if nbytes < 0:
+            raise MpiError(f"negative broadcast size: {nbytes}")
+        # Arrival registration is atomic (no yields): the last arriver —
+        # root or not — finds the root's parameters already recorded and
+        # kicks off the replicated transfer.
+        key = self._hw_slot(ctx, comm, "bcast")
+        bar = self._hw_barriers.get(key)
+        if bar is None:
+            bar = _HwBarrier(self.sim, comm.size)
+            self._hw_barriers[key] = bar
+        if comm.rank_of(ctx.rank) == root:
+            self._hw_pending_roots[key] = (ctx, nbytes)
+        bar.arrived += 1
+        if bar.arrived == bar.expected:
+            root_ctx, size = self._hw_pending_roots.pop(key)
+            del self._hw_barriers[key]
+            self.sim.spawn(
+                self._hw_bcast_root(root_ctx, comm, size, bar.done),
+                name="elan.hwbc",
+            )
+        yield from ctx.cpu.busy(self.params.command_post, kind="mpi")
+        yield bar.done
+        yield from ctx.cpu.busy(self.params.event_delivery, kind="mpi")
+
+    def _hw_bcast_root(
+        self, root_ctx: RankContext, comm: Communicator, nbytes: int, done: Event
+    ) -> Generator[Event, Any, None]:
+        root_nic = self._ranks[root_ctx.rank][1]
+        # One pass out of the root host (PCI-X + uplink)...
+        from ...sim import transfer
+
+        stages = [root_nic.node.pcix_stage()]
+        stages.extend(
+            root_nic.fabric.wire_stages(
+                root_nic.node.node_id,
+                (root_nic.node.node_id + 1) % max(2, root_nic.fabric.n_nodes),
+            )[:1]
+        )
+        if stages:
+            yield from transfer(self.sim, stages, nbytes, chunk=root_nic.chunk)
+        # ...then parallel delivery into every other member's host memory.
+        deliveries: List[Event] = []
+        per_dest = self.params.hw_bcast_per_dest
+        for i, world_rank in enumerate(comm.world_ranks):
+            if world_rank == root_ctx.rank:
+                continue
+            nic = self._ranks[world_rank][1]
+            ev = Event(self.sim)
+            deliveries.append(ev)
+            self.sim.spawn(
+                self._hw_deliver(nic, nbytes, i * per_dest, ev),
+                name="elan.hwdlv",
+            )
+        if deliveries:
+            yield self.sim.all_of(deliveries)
+        done.succeed(self.sim.now)
+
+    def _hw_deliver(
+        self, nic: ElanNic, nbytes: int, stagger: float, ev: Event
+    ) -> Generator[Event, Any, None]:
+        from ...sim import transfer
+
+        if stagger > 0.0:
+            yield self.sim.timeout(stagger)
+        stages = []
+        wire = nic.fabric.wire_stages(
+            (nic.node.node_id + 1) % max(2, nic.fabric.n_nodes),
+            nic.node.node_id,
+        )
+        if wire:
+            stages.append(wire[-1])  # the member's downlink
+        stages.append(nic.node.pcix_stage())
+        yield from transfer(self.sim, stages, nbytes, chunk=nic.chunk)
+        ev.succeed(self.sim.now)
+
+    # -- reporting ------------------------------------------------------------
+
+    def finalize_stats(self, ctx: RankContext) -> dict:
+        state: _QState = ctx.impl_state
+        nic = self._ranks[ctx.rank][1]
+        posted, unexpected = nic.queue_depths(ctx.rank)
+        return {
+            "tx_count": state.tx_count,
+            "rx_count": state.rx_count,
+            "nic_buffered_peak": nic.max_buffered_bytes,
+            "posted_now": posted,
+            "unexpected_now": unexpected,
+        }

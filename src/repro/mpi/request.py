@@ -1,0 +1,53 @@
+"""Non-blocking communication requests and completion status.
+
+A :class:`Request` is the handle returned by ``isend``/``irecv``; the MPI
+facade's ``wait``/``waitall`` consume them.  Completion semantics differ by
+implementation — the Quadrics path completes requests asynchronously from
+the NIC, the MVAPICH path only inside library calls — but the handle shape
+is shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import MpiError
+from ..sim import Event
+
+
+@dataclass
+class Status:
+    """Completion information of a receive (MPI_Status equivalent)."""
+
+    source: int = -1
+    tag: int = -1
+    size: int = -1
+
+
+@dataclass
+class Request:
+    """One outstanding non-blocking operation."""
+
+    kind: str  # "send" | "recv"
+    peer: int
+    tag: int
+    size: int
+    done: Event
+    status: Status = field(default_factory=Status)
+    #: Implementation-private protocol state.
+    impl_state: Optional[object] = None
+
+    @property
+    def completed(self) -> bool:
+        """True once the operation has finished."""
+        return self.done.triggered
+
+    def complete(self, source: int = -1, tag: int = -1, size: int = -1) -> None:
+        """Mark done, filling in receive status fields."""
+        if self.done.triggered:
+            raise MpiError(f"{self.kind} request completed twice")
+        self.status.source = source
+        self.status.tag = tag
+        self.status.size = size
+        self.done.succeed(self.status)

@@ -1,0 +1,6 @@
+"""Network-interface models: 4X InfiniBand HCA and Quadrics Elan-4."""
+
+from .base import NetRecord, Nic
+from .params import ELAN_4, IB_4X, ElanParams, IBParams
+
+__all__ = ["Nic", "NetRecord", "IBParams", "ElanParams", "IB_4X", "ELAN_4"]

@@ -1,0 +1,136 @@
+"""Abstract network-interface model shared by both technologies.
+
+A NIC sits between a :class:`~repro.hardware.Node` and a fabric.  It owns
+the per-message engine resources (the source of small-message gap) and
+knows how to build the full pipeline for a payload: PCI-X out of host
+memory, the wire, PCI-X into the destination host.  Concrete subclasses
+add the protocol machinery (queue pairs and registration for InfiniBand,
+the thread processor and Tports matching for Elan-4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+from ..errors import NetworkError
+from ..fabric import CrossbarFabric
+from ..hardware import Node
+from ..sim import Event, FifoResource, Stage, transfer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+_seq_counter = itertools.count(1)
+
+
+@dataclass
+class NetRecord:
+    """A unit of network-visible information delivered to the far side.
+
+    Carries protocol bookkeeping only — payload *contents* are never
+    simulated, just sizes.  ``meta`` is free-form protocol state (e.g. the
+    send handle a CTS refers to).
+    """
+
+    kind: str
+    src_rank: int
+    dst_rank: int
+    size: int
+    tag: int = 0
+    meta: Any = None
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+
+class Nic:
+    """Base class for both adapter models."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: Node,
+        fabric: CrossbarFabric,
+        tx_processing: float,
+        rx_processing: float,
+        chunk: int,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.fabric = fabric
+        self.chunk = chunk
+        #: Per-message engine occupancy — the injection gap.
+        self.tx_engine = FifoResource(sim, name=f"nic{node.node_id}.tx")
+        self.rx_engine = FifoResource(sim, name=f"nic{node.node_id}.rx")
+        self._tx_processing = tx_processing
+        self._rx_processing = rx_processing
+        node.nic = self
+        #: Statistics.
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- path construction ---------------------------------------------------
+
+    def payload_stages(self, dst_nic: "Nic") -> List[Stage]:
+        """Full pipeline for payload bytes from this host to ``dst_nic``'s.
+
+        host mem --PCI-X--> NIC engine --wire--> NIC engine --PCI-X--> mem
+        """
+        stages: List[Stage] = [
+            self.node.pcix_stage(),
+            Stage(
+                resource=self.tx_engine,
+                bandwidth=None,
+                overhead=self._tx_processing,
+                latency_out=0.0,
+                name=f"nictx{self.node.node_id}",
+            ),
+        ]
+        stages.extend(
+            self.fabric.wire_stages(self.node.node_id, dst_nic.node.node_id)
+        )
+        stages.append(
+            Stage(
+                resource=dst_nic.rx_engine,
+                bandwidth=None,
+                overhead=dst_nic._rx_processing,
+                latency_out=0.0,
+                name=f"nicrx{dst_nic.node.node_id}",
+            )
+        )
+        stages.append(dst_nic.node.pcix_stage())
+        return stages
+
+    def push(
+        self, dst_nic: "Nic", size: int
+    ) -> Generator[Event, Any, float]:
+        """Move ``size`` payload bytes to the destination host memory.
+
+        Returns the delivery completion time.  Contention with every other
+        transfer sharing a bus, engine or link is exact.
+        """
+        if size < 0:
+            raise NetworkError(f"negative payload size: {size}")
+        self.messages_sent += 1
+        self.bytes_sent += size
+        end = yield from transfer(
+            self.sim, self.payload_stages(dst_nic), size, chunk=self.chunk
+        )
+        return end
+
+    # -- subclass interface ----------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable adapter description for reports."""
+        raise NotImplementedError
+
+    def memory_footprint(self, nprocs: int) -> int:
+        """Per-process network buffer bytes for an ``nprocs``-process job."""
+        raise NotImplementedError
+
+
+def attach_pair_stats(nics: List[Optional[Nic]]) -> dict:
+    """Aggregate send statistics across NICs (reporting helper)."""
+    total_msgs = sum(n.messages_sent for n in nics if n is not None)
+    total_bytes = sum(n.bytes_sent for n in nics if n is not None)
+    return {"messages": total_msgs, "bytes": total_bytes}

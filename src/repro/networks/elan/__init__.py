@@ -1,0 +1,5 @@
+"""Quadrics Elan-4 models: NIC thread processor and Tports."""
+
+from .nic import ElanNic, RxHandle, TxHandle
+
+__all__ = ["ElanNic", "RxHandle", "TxHandle"]

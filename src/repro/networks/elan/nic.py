@@ -1,0 +1,443 @@
+"""The Quadrics Elan-4 adapter model with Tports on the NIC thread.
+
+Everything the paper credits Quadrics for lives here:
+
+* **Offload** — tag matching runs on the NIC's thread processor, a
+  :class:`~repro.sim.FifoResource` shared by all ranks of the node.  Each
+  matching attempt costs a base time plus per-queue-element search time at
+  NIC-processor (not host) speed.
+* **Independent progress** — an incoming message is matched the moment it
+  arrives, regardless of what the host is doing.  The host learns of
+  completion through an event write; a rank deep in a compute region never
+  delays a peer's rendezvous.
+* **Connectionless** — one capability per job; no per-peer state.
+* **Implicit registration** — the Elan MMU translates host addresses on
+  the NIC in cooperation with the OS; no host-side pinning calls, no
+  registration cache, no thrash.
+
+Large messages (> ``sync_threshold``) use a NIC-to-NIC probe/go handshake
+so payload lands only after a matching receive exists; the handshake runs
+entirely on the NICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Generator
+
+from ...errors import NetworkError
+from ...hardware.node import Cpu, Node
+from ...mpi.matching import Envelope, MatchQueue
+from ...sim import Event
+from ..base import NetRecord, Nic
+from ..params import ElanParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...fabric import CrossbarFabric
+    from ...sim import Simulator
+
+#: Tports wire header (route + context + tag word + size).
+WIRE_HEADER_BYTES = 32
+#: Probe and go control packets for the NIC-side large-message handshake.
+PROBE_BYTES = 32
+GO_BYTES = 16
+
+
+@dataclass
+class RxHandle:
+    """A posted Tports receive; ``done`` fires on delivery."""
+
+    source: int
+    tag: int
+    max_size: int
+    done: Event
+    matched_size: int = -1
+    matched_source: int = -1
+    matched_tag: int = -1
+
+
+@dataclass
+class TxHandle:
+    """An issued Tports transmit; ``done`` fires when the buffer is free."""
+
+    dst_rank: int
+    tag: int
+    size: int
+    done: Event
+
+
+@dataclass
+class _Probe:
+    """A parked large-message probe awaiting a matching receive."""
+
+    record: NetRecord
+    src_nic: "ElanNic"
+    go_event: Event
+    pair_id: int = field(default=0)
+
+
+class ElanNic(Nic):
+    """One Elan-4 adapter serving all ranks of its node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: Node,
+        fabric: "CrossbarFabric",
+        params: ElanParams,
+    ) -> None:
+        super().__init__(
+            sim,
+            node,
+            fabric,
+            tx_processing=params.nic_tx_processing,
+            rx_processing=params.nic_rx_processing,
+            chunk=params.fabric.mtu,
+        )
+        self.params = params
+        from ...sim import FifoResource
+
+        #: The NIC thread processor: all matching and protocol work for
+        #: every rank on this node serializes here.
+        self.thread = FifoResource(sim, name=f"elan{node.node_id}.thr")
+        #: Per-rank Tports context: posted receives and unexpected queue.
+        self._posted: Dict[int, MatchQueue[RxHandle]] = {}
+        self._unexpected: Dict[int, MatchQueue[Any]] = {}
+        #: Large-message pairings: pair_id -> RxHandle awaiting payload.
+        self._paired: Dict[int, RxHandle] = {}
+        self._pair_seq = 0
+        #: Unexpected payload bytes currently buffered in system memory.
+        self.buffered_bytes = 0
+        self.max_buffered_bytes = 0
+
+    # -- rank attach -----------------------------------------------------------
+
+    def attach_rank(self, rank: int) -> None:
+        """Create the Tports context for ``rank`` on this node."""
+        if rank in self._posted:
+            raise NetworkError(f"rank {rank} already attached to Elan NIC")
+        self._posted[rank] = MatchQueue()
+        self._unexpected[rank] = MatchQueue()
+
+    # -- thread processor helper ----------------------------------------------------
+
+    def _thread_run(self, cost_fn) -> Generator[Event, Any, Any]:
+        """Serialize one operation on the NIC thread processor.
+
+        ``cost_fn`` is evaluated *after* the thread is acquired so queue
+        lengths reflect execution time; it returns ``(cost, effect_fn)``
+        where ``effect_fn`` applies state changes and returns a value.
+        """
+        req = self.thread.request()
+        yield req
+        cost, effect = cost_fn()
+        if cost > 0.0:
+            yield self.sim.timeout(cost)
+        try:
+            return effect()
+        finally:
+            self.thread.release(req)
+
+    def _local_copy_time(self, size: int) -> float:
+        """NIC DMA copying within host memory crosses PCI-X twice."""
+        return 2.0 * size / self.node.spec.pcix_bandwidth
+
+    # -- transmit ------------------------------------------------------------------
+
+    def tx(
+        self,
+        cpu: Cpu,
+        local_rank: int,
+        dst_nic: "ElanNic",
+        dst_rank: int,
+        tag: int,
+        size: int,
+    ) -> TxHandle:
+        """Issue a Tports transmit; returns immediately with a handle.
+
+        The host pays only the command-post cost (charged asynchronously
+        on ``cpu``); the NIC executes the rest.  ``handle.done`` fires when
+        the send buffer is reusable (payload fully injected).
+        """
+        self.sim.trace.log(
+            self.sim.now,
+            "elan.tx",
+            f"r{local_rank}->r{dst_rank} tag={tag} size={size} "
+            f"{'sync' if size > self.params.sync_threshold else 'eager'}",
+        )
+        handle = TxHandle(dst_rank=dst_rank, tag=tag, size=size, done=Event(self.sim))
+        self.sim.spawn(
+            self._tx_proc(cpu, local_rank, dst_nic, dst_rank, tag, size, handle),
+            name=f"elan.tx{local_rank}->{dst_rank}",
+        )
+        return handle
+
+    def _tx_proc(
+        self,
+        cpu: Cpu,
+        local_rank: int,
+        dst_nic: "ElanNic",
+        dst_rank: int,
+        tag: int,
+        size: int,
+        handle: TxHandle,
+    ) -> Generator[Event, Any, None]:
+        yield from cpu.busy(self.params.command_post, kind="mpi")
+        if size > self.params.sync_threshold:
+            yield from self._tx_large(
+                local_rank, dst_nic, dst_rank, tag, size, handle
+            )
+        else:
+            yield from self._tx_eager(
+                local_rank, dst_nic, dst_rank, tag, size, handle
+            )
+
+    def _tx_eager(
+        self,
+        local_rank: int,
+        dst_nic: "ElanNic",
+        dst_rank: int,
+        tag: int,
+        size: int,
+        handle: TxHandle,
+    ) -> Generator[Event, Any, None]:
+        record = NetRecord(
+            kind="tport", src_rank=local_rank, dst_rank=dst_rank, size=size, tag=tag
+        )
+        yield from self.push(dst_nic, size + WIRE_HEADER_BYTES)
+        handle.done.succeed(self.sim.now)
+        # Arrival processing runs on the destination NIC thread.
+        self.sim.spawn(
+            dst_nic._rx_arrival(record), name=f"elan.arr{dst_rank}"
+        )
+
+    def _tx_large(
+        self,
+        local_rank: int,
+        dst_nic: "ElanNic",
+        dst_rank: int,
+        tag: int,
+        size: int,
+        handle: TxHandle,
+    ) -> Generator[Event, Any, None]:
+        go_event = Event(self.sim)
+        record = NetRecord(
+            kind="tport-probe",
+            src_rank=local_rank,
+            dst_rank=dst_rank,
+            size=size,
+            tag=tag,
+        )
+        probe = _Probe(record=record, src_nic=self, go_event=go_event)
+        yield from self.push(dst_nic, PROBE_BYTES)
+        self.sim.spawn(dst_nic._probe_arrival(probe), name=f"elan.probe{dst_rank}")
+        pair_id = yield go_event
+        # Matching receive exists; move the payload NIC-to-NIC.
+        yield from self.push(dst_nic, size + WIRE_HEADER_BYTES)
+        handle.done.succeed(self.sim.now)
+        self.sim.spawn(
+            dst_nic._payload_arrival(pair_id, size), name=f"elan.pay{dst_rank}"
+        )
+
+    # -- receive ----------------------------------------------------------------------
+
+    def post_rx(
+        self,
+        cpu: Cpu,
+        local_rank: int,
+        source: int,
+        tag: int,
+        max_size: int,
+    ) -> RxHandle:
+        """Post a Tports receive; returns immediately with a handle.
+
+        ``handle.done`` fires when a matching message has been delivered
+        into the user buffer — possibly before this host rank looks at it
+        again (independent progress).
+        """
+        handle = RxHandle(
+            source=source, tag=tag, max_size=max_size, done=Event(self.sim)
+        )
+        self.sim.spawn(
+            self._post_rx_proc(cpu, local_rank, handle),
+            name=f"elan.rx{local_rank}",
+        )
+        return handle
+
+    def _post_rx_proc(
+        self, cpu: Cpu, local_rank: int, handle: RxHandle
+    ) -> Generator[Event, Any, None]:
+        yield from cpu.busy(self.params.command_post, kind="mpi")
+        posting = Envelope(handle.source, handle.tag)
+        unexpected = self._unexpected[local_rank]
+        posted = self._posted[local_rank]
+        p = self.params
+
+        def cost_fn():
+            # Search unexpected first (MPI ordering), then park in posted.
+            item, searched = unexpected.find_for_posting(posting)
+            cost = p.thread_match_base + p.thread_match_per_element * searched
+            if item is None:
+                def effect():
+                    posted.append(posting, handle)
+                    return None
+                return cost, effect
+            if isinstance(item, _Probe):
+                cost += p.thread_dma_setup
+
+                def effect():
+                    return ("probe", item)
+                return cost, effect
+            record = item
+            cost += p.thread_dma_setup + self._local_copy_time(record.size)
+
+            def effect():
+                self.buffered_bytes -= record.size
+                return ("data", record)
+            return cost, effect
+
+        result = yield from self._thread_run(cost_fn)
+        if result is None:
+            return
+        kind, item = result
+        if kind == "data":
+            self._complete_rx(handle, item)
+            yield self.sim.timeout(0.0)
+        else:
+            probe: _Probe = item
+            self._pair_seq += 1
+            pair_id = self._pair_seq
+            self._paired[pair_id] = handle
+            # Send "go" back to the source NIC: pure NIC-to-NIC traffic.
+            yield from self.push(probe.src_nic, GO_BYTES)
+            probe.go_event.succeed(pair_id)
+
+    # -- arrival handlers (run at the destination NIC) -------------------------------
+
+    def _rx_arrival(self, record: NetRecord) -> Generator[Event, Any, None]:
+        incoming = Envelope(record.src_rank, record.tag)
+        posted = self._posted[record.dst_rank]
+        unexpected = self._unexpected[record.dst_rank]
+        p = self.params
+
+        def cost_fn():
+            handle, searched = posted.find_for_incoming(incoming)
+            cost = p.thread_match_base + p.thread_match_per_element * searched
+            if handle is not None:
+                cost += p.thread_dma_setup
+
+                def effect():
+                    return handle
+                return cost, effect
+
+            def effect():
+                # Park payload in the Tports system buffer.
+                self.buffered_bytes += record.size
+                if self.buffered_bytes > self.max_buffered_bytes:
+                    self.max_buffered_bytes = self.buffered_bytes
+                if self.buffered_bytes > p.system_buffer_bytes:
+                    raise NetworkError(
+                        "Tports system buffer overflow on node "
+                        f"{self.node.node_id}: {self.buffered_bytes} bytes"
+                    )
+                unexpected.append(incoming, record)
+                return None
+            return cost, effect
+
+        handle = yield from self._thread_run(cost_fn)
+        self.sim.trace.log(
+            self.sim.now,
+            "elan.match",
+            f"r{record.dst_rank} {'matched' if handle else 'parked'} "
+            f"from r{record.src_rank} tag={record.tag} size={record.size}",
+        )
+        if handle is not None:
+            self._complete_rx(handle, record)
+
+    def _probe_arrival(self, probe: _Probe) -> Generator[Event, Any, None]:
+        record = probe.record
+        incoming = Envelope(record.src_rank, record.tag)
+        posted = self._posted[record.dst_rank]
+        unexpected = self._unexpected[record.dst_rank]
+        p = self.params
+
+        def cost_fn():
+            handle, searched = posted.find_for_incoming(incoming)
+            cost = p.thread_match_base + p.thread_match_per_element * searched
+
+            def effect():
+                if handle is None:
+                    unexpected.append(incoming, probe)
+                return handle
+            return cost, effect
+
+        handle = yield from self._thread_run(cost_fn)
+        if handle is not None:
+            self._pair_seq += 1
+            pair_id = self._pair_seq
+            self._paired[pair_id] = handle
+            handle.matched_source = record.src_rank
+            handle.matched_tag = record.tag
+            yield from self.push(probe.src_nic, GO_BYTES)
+            probe.go_event.succeed(pair_id)
+
+    def _payload_arrival(
+        self, pair_id: int, size: int
+    ) -> Generator[Event, Any, None]:
+        handle = self._paired.pop(pair_id, None)
+        if handle is None:
+            raise NetworkError(f"payload for unknown pairing {pair_id}")
+        p = self.params
+
+        def cost_fn():
+            return p.thread_dma_setup, lambda: None
+
+        yield from self._thread_run(cost_fn)
+        record = NetRecord(
+            kind="tport",
+            src_rank=handle.matched_source,
+            dst_rank=-1,
+            size=size,
+            tag=handle.matched_tag,
+        )
+        self._complete_rx(handle, record)
+
+    def _complete_rx(self, handle: RxHandle, record: NetRecord) -> None:
+        from ...errors import TruncationError
+
+        if record.size > handle.max_size:
+            handle.done.fail(
+                TruncationError(
+                    f"message of {record.size} B truncates receive of "
+                    f"{handle.max_size} B"
+                )
+            )
+            return
+        handle.matched_size = record.size
+        handle.matched_source = record.src_rank
+        handle.matched_tag = record.tag
+        # Event word write + host observation latency.
+        self.sim.spawn(
+            _delayed_succeed(self.sim, self.params.event_delivery, handle.done),
+            name="elan.evt",
+        )
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            "Quadrics QM-500 Elan-4 adapter (Tports on NIC thread, "
+            f"sync threshold {self.params.sync_threshold} B, connectionless)"
+        )
+
+    def memory_footprint(self, nprocs: int) -> int:
+        return self.params.memory_footprint(nprocs)
+
+    def queue_depths(self, rank: int) -> "tuple[int, int]":
+        """(posted, unexpected) queue lengths for one rank (diagnostics)."""
+        return len(self._posted[rank]), len(self._unexpected[rank])
+
+
+def _delayed_succeed(sim: "Simulator", delay: float, event: Event):
+    yield sim.timeout(delay)
+    event.succeed(sim.now)

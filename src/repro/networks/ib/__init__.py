@@ -1,0 +1,6 @@
+"""4X InfiniBand models: HCA, queue pairs, memory registration."""
+
+from .hca import Hca, WIRE_HEADER_BYTES
+from .memreg import RegistrationCache
+
+__all__ = ["Hca", "RegistrationCache", "WIRE_HEADER_BYTES"]

@@ -1,0 +1,194 @@
+"""The 4X InfiniBand host channel adapter model.
+
+Connection-oriented and host-driven: every communicating pair of processes
+needs an established queue pair (the paper's Section 3.3.1 scalability
+concern), every RDMA needs registered memory (Section 3.3.2), and nothing
+the HCA delivers becomes *MPI-visible* until the host polls — the adapter
+has no processor running MPI matching (Sections 3.3.3/3.3.4).
+
+The HCA itself moves bytes autonomously once a work request is posted;
+what it cannot do is *initiate* protocol steps, which is why the MVAPICH
+layer on top only makes rendezvous progress inside MPI library calls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, Set
+
+from ...errors import ConnectionError_, NetworkError
+from ...hardware.node import Cpu, Node
+from ...sim import Event, Store
+from ..base import NetRecord, Nic
+from ..params import IBParams
+from .memreg import RegistrationCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...fabric import CrossbarFabric
+    from ...sim import Simulator
+
+#: Transport header carried on the wire by every IB message (LRH+BTH+
+#: RETH/immediate, rounded): added to payload for serialization purposes.
+WIRE_HEADER_BYTES = 48
+
+
+class Hca(Nic):
+    """One HCA serving all ranks of its node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: Node,
+        fabric: "CrossbarFabric",
+        params: IBParams,
+    ) -> None:
+        super().__init__(
+            sim,
+            node,
+            fabric,
+            tx_processing=params.hca_tx_processing,
+            rx_processing=params.hca_rx_processing,
+            chunk=params.fabric.mtu,
+        )
+        self.params = params
+        #: One registration cache per *rank* (process address spaces are
+        #: private); keyed by local rank slot.
+        self._reg_caches: Dict[int, RegistrationCache] = {}
+        #: Host-visible delivery queues per rank: records the host MPI
+        #: library discovers only by polling.
+        self._inboxes: Dict[int, Store] = {}
+        #: Established queue pairs, as (local_rank, remote_rank) pairs.
+        self._connections: Set[tuple] = set()
+        self.qp_count = 0
+
+    # -- per-rank plumbing ------------------------------------------------------
+
+    def attach_rank(self, rank: int) -> Store:
+        """Register a rank on this node; returns its delivery inbox."""
+        if rank in self._inboxes:
+            raise NetworkError(f"rank {rank} already attached to HCA")
+        inbox = Store(self.sim, name=f"ib.inbox{rank}")
+        self._inboxes[rank] = inbox
+        self._reg_caches[rank] = RegistrationCache(self.sim, self.params)
+        return inbox
+
+    def reg_cache(self, rank: int) -> RegistrationCache:
+        """The pin-down cache of one attached rank."""
+        return self._reg_caches[rank]
+
+    # -- connection management -----------------------------------------------------
+
+    def connect(
+        self, cpu: Cpu, local_rank: int, remote_rank: int
+    ) -> Generator[Event, Any, None]:
+        """Establish the queue pair ``local_rank`` <-> ``remote_rank``.
+
+        MVAPICH 0.9.2 performs this for every peer at ``MPI_Init`` — an
+        O(nprocs) startup cost per process and an O(nprocs) memory
+        footprint, both reported by :meth:`memory_footprint`.
+        """
+        key = (local_rank, remote_rank)
+        if key in self._connections:
+            return
+        self._connections.add(key)
+        self.qp_count += 1
+        yield from cpu.busy(self.params.qp_setup, kind="mpi")
+
+    def is_connected(self, local_rank: int, remote_rank: int) -> bool:
+        """Whether a queue pair exists for the ordered pair."""
+        return (local_rank, remote_rank) in self._connections
+
+    # -- data movement ----------------------------------------------------------------
+
+    def rdma_write(
+        self,
+        cpu: Cpu,
+        local_rank: int,
+        dst_hca: "Hca",
+        record: NetRecord,
+    ) -> Generator[Event, Any, Event]:
+        """Post one RDMA write carrying ``record``.
+
+        The posting rank pays the WQE cost on its CPU synchronously — that
+        is the host's only involvement.  The HCA then moves ``record.size``
+        payload bytes (plus wire header) autonomously; the returned event
+        fires at local completion (CQE).  On arrival the record lands in
+        the destination rank's inbox, where it stays until the *host*
+        polls — delivery is not MPI progress.
+        """
+        if not self.is_connected(local_rank, record.dst_rank):
+            raise ConnectionError_(
+                f"rank {local_rank} has no queue pair to rank {record.dst_rank}"
+            )
+        yield from cpu.busy(self.params.wqe_post, kind="mpi")
+        done = Event(self.sim)
+        self.sim.spawn(
+            self._wire_proc(dst_hca, record, done),
+            name=f"ib.wire{local_rank}->{record.dst_rank}",
+        )
+        return done
+
+    def _wire_proc(
+        self, dst_hca: "Hca", record: NetRecord, done: Event
+    ) -> Generator[Event, Any, None]:
+        end = yield from self.push(dst_hca, record.size + WIRE_HEADER_BYTES)
+        dst_hca._deliver(record)
+        done.succeed(end)
+
+    def rdma_read(
+        self,
+        cpu: Cpu,
+        local_rank: int,
+        src_hca: "Hca",
+        record: NetRecord,
+    ) -> Generator[Event, Any, Event]:
+        """Post one RDMA read pulling ``record.size`` bytes from the peer.
+
+        The *reading* rank pays the WQE cost; the read request travels to
+        the source HCA, which streams the data back with **no source-host
+        involvement** — the property that lets a read-based rendezvous
+        free the sender.  The record lands in this rank's own inbox at
+        completion; the returned event fires then.
+        """
+        if not self.is_connected(local_rank, record.src_rank):
+            raise ConnectionError_(
+                f"rank {local_rank} has no queue pair to rank {record.src_rank}"
+            )
+        yield from cpu.busy(self.params.wqe_post, kind="mpi")
+        done = Event(self.sim)
+        self.sim.spawn(
+            self._read_proc(src_hca, record, done),
+            name=f"ib.read{local_rank}<-{record.src_rank}",
+        )
+        return done
+
+    def _read_proc(
+        self, src_hca: "Hca", record: NetRecord, done: Event
+    ) -> Generator[Event, Any, None]:
+        # Read request to the source NIC (header-only packet)...
+        yield from self.push(src_hca, WIRE_HEADER_BYTES)
+        yield self.sim.timeout(self.params.rdma_read_request)
+        # ...then the source NIC streams the payload back.
+        end = yield from src_hca.push(self, record.size + WIRE_HEADER_BYTES)
+        self._deliver(record)
+        done.succeed(end)
+
+    def _deliver(self, record: NetRecord) -> None:
+        inbox = self._inboxes.get(record.dst_rank)
+        if inbox is None:
+            raise NetworkError(
+                f"no rank {record.dst_rank} attached to HCA on node "
+                f"{self.node.node_id}"
+            )
+        inbox.put(record)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            "Voltaire HCA 400 4X InfiniBand host channel adapter "
+            f"(eager <= {self.params.eager_threshold} B, "
+            f"{self.params.rdma_ring_slots}-slot RDMA fast path per peer)"
+        )
+
+    def memory_footprint(self, nprocs: int) -> int:
+        return self.params.memory_footprint(nprocs)

@@ -1,0 +1,14 @@
+"""Result containers and export helpers."""
+
+from .export import series_to_csv, series_to_dict
+from .plot import ascii_plot
+from .series import DataSeries, RepStats, mean_of
+
+__all__ = [
+    "DataSeries",
+    "RepStats",
+    "mean_of",
+    "series_to_csv",
+    "series_to_dict",
+    "ascii_plot",
+]

@@ -1,0 +1,37 @@
+"""Export data series to CSV or plain dictionaries (JSON-ready)."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Sequence
+
+from .series import DataSeries
+
+
+def series_to_csv(series_list: Sequence[DataSeries]) -> str:
+    """Long-format CSV: label, x, y — one row per point."""
+    out = io.StringIO()
+    if series_list:
+        x_name = series_list[0].x_name
+        y_name = series_list[0].y_name
+    else:
+        x_name, y_name = "x", "y"
+    out.write(f"series,{x_name},{y_name}\n")
+    for s in series_list:
+        for xi, yi in zip(s.x, s.y):
+            out.write(f"{s.label},{xi!r},{yi!r}\n")
+    return out.getvalue()
+
+
+def series_to_dict(series_list: Sequence[DataSeries]) -> List[Dict]:
+    """JSON-serializable list of series dictionaries."""
+    return [
+        {
+            "label": s.label,
+            "x_name": s.x_name,
+            "y_name": s.y_name,
+            "x": list(s.x),
+            "y": list(s.y),
+        }
+        for s in series_list
+    ]

@@ -1,0 +1,88 @@
+"""Result containers: labelled data series and repetition statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class DataSeries:
+    """One labelled curve: parallel x and y vectors plus metadata."""
+
+    label: str
+    x: List[float]
+    y: List[float]
+    x_name: str = "x"
+    y_name: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.label!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+
+    def at(self, x: float) -> float:
+        """The y value at an exact x (raises KeyError if absent)."""
+        for xi, yi in zip(self.x, self.y):
+            if xi == x:
+                return yi
+        raise KeyError(f"x={x} not in series {self.label!r}")
+
+    def scaled(self, factor: float, label: Optional[str] = None) -> "DataSeries":
+        """A copy with every y multiplied by ``factor``."""
+        return DataSeries(
+            label=label or self.label,
+            x=list(self.x),
+            y=[v * factor for v in self.y],
+            x_name=self.x_name,
+            y_name=self.y_name,
+        )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class RepStats:
+    """Mean/min/max over benchmark repetitions (the paper averages 4)."""
+
+    values: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ConfigurationError("no repetitions recorded")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def spread(self) -> float:
+        """Relative spread (max-min)/mean; sanity metric for determinism."""
+        m = self.mean
+        return (self.maximum - self.minimum) / m if m else 0.0
+
+
+def mean_of(values: Sequence[float]) -> float:
+    """Arithmetic mean with an explicit empty check."""
+    vals = list(values)
+    if not vals:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(vals) / len(vals)

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is SimPy-flavoured but purpose-built: generator processes,
+one-shot events, FIFO resources, mailbox stores, and an analytic pipelined
+transfer primitive that gives exact resource contention at O(stages) events
+per message.  See :mod:`repro.sim.engine` for determinism guarantees.
+"""
+
+from .engine import Simulator
+from .events import AllOf, AnyOf, Event, Timeout
+from .pipelines import DEFAULT_CHUNK, Stage, transfer, transfer_time_estimate
+from .process import Interrupted, Process
+from .resources import FifoResource, Store
+from .rng import RngStreams
+from .trace import Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Interrupted",
+    "FifoResource",
+    "Store",
+    "RngStreams",
+    "Tracer",
+    "Stage",
+    "transfer",
+    "transfer_time_estimate",
+    "DEFAULT_CHUNK",
+]

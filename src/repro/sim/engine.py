@@ -1,0 +1,160 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the event heap and the clock.  Time is a float in
+microseconds (see :mod:`repro.units`).  Determinism guarantees:
+
+* same-time events fire in schedule order (a monotone sequence number breaks
+  ties), never in hash or insertion-address order;
+* all randomness flows through named :class:`~repro.sim.rng.RngStreams`, so
+  two runs with the same seed are bit-identical.
+
+A run ends when the heap drains, when ``until`` is reached, or when a
+watched process finishes (``run(until_process=p)``).  Crashed processes
+abort the run unless someone explicitly joins them — silent process death is
+how protocol bugs hide.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import ProcGen, Process
+from .rng import RngStreams
+from .trace import Tracer
+
+
+class Simulator:
+    """Discrete-event simulation kernel."""
+
+    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+        self.rng = RngStreams(seed)
+        self.trace = trace if trace is not None else Tracer(enabled=False)
+        self._crashed: List[Tuple[Process, BaseException]] = []
+        self._live_processes = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # -- event plumbing ----------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def _process_crashed(self, proc: Process, exc: BaseException) -> None:
+        self._crashed.append((proc, exc))
+
+    # -- public factory helpers --------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event (a one-shot signal)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Composite event: fires when every child has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Composite event: fires with ``(index, value)`` of first child."""
+        return AnyOf(self, events)
+
+    def spawn(
+        self, generator: ProcGen, name: str = "", daemon: bool = False
+    ) -> Process:
+        """Start a new process running ``generator`` at the current time.
+
+        ``daemon=True`` excludes the process from :meth:`run_all`'s
+        deadlock accounting — for service loops (e.g. a progress thread)
+        that are *expected* to be blocked when the simulation quiesces.
+        """
+        if not daemon:
+            self._live_processes += 1
+        proc = Process(self, generator, name=name)
+        if not daemon:
+            proc.add_callback(self._process_done)
+        return proc
+
+    def _process_done(self, _ev: Event) -> None:
+        self._live_processes -= 1
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        until_process: Optional[Process] = None,
+    ) -> float:
+        """Run until the heap drains, ``until`` is reached, or a process ends.
+
+        Returns the simulation time at which the run stopped.  Raises the
+        original exception of any crashed, un-joined process.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if self._crashed:
+                    proc, exc = self._crashed[0]
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed at t={self._now:.3f}us"
+                    ) from exc
+                if until_process is not None and until_process.triggered:
+                    break
+                t, _seq, event = heapq.heappop(self._heap)
+                if until is not None and t > until:
+                    # Put it back: the caller may resume later.
+                    heapq.heappush(self._heap, (t, _seq, event))
+                    self._now = until
+                    break
+                self._now = t
+                event._fire()
+            else:
+                if self._crashed:
+                    proc, exc = self._crashed[0]
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed at t={self._now:.3f}us"
+                    ) from exc
+                if until is not None and self._now < until:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_all(self) -> float:
+        """Run to quiescence and verify no process is left blocked.
+
+        Raises :class:`~repro.errors.DeadlockError` if live processes remain
+        after the heap drains — the standard way integration tests catch
+        protocol deadlocks (e.g. a rendezvous CTS that never arrives).
+        """
+        from ..errors import DeadlockError
+
+        end = self.run()
+        if self._live_processes > 0:
+            raise DeadlockError(self._live_processes)
+        return end
+
+    @property
+    def live_processes(self) -> int:
+        """Number of spawned processes that have not yet finished."""
+        return self._live_processes
+
+    def pending_events(self) -> int:
+        """Heap size; useful for tests asserting quiescence."""
+        return len(self._heap)

@@ -1,0 +1,190 @@
+"""Waitable events for the discrete-event kernel.
+
+An :class:`Event` is a one-shot waitable: processes yield it to block until
+it is *triggered*.  Triggering can carry a value (delivered as the result of
+the ``yield``) or an exception (re-raised inside the waiting process).
+
+Events deliberately mirror the SimPy design — triggering does not run
+callbacks synchronously, it schedules them at the current simulation time so
+that all same-time activity is ordered by a deterministic sequence number.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Simulator
+
+#: Sentinel distinguishing "not triggered" from "triggered with None".
+_PENDING = object()
+
+
+class Event:
+    """One-shot waitable handle bound to a :class:`Simulator`.
+
+    State machine: *pending* -> *triggered* (value or exception) ->
+    *processed* (callbacks have run).  Triggering twice is an error; it
+    almost always indicates a protocol bug in a network model.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_scheduled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks run when the event fires; each receives the event.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (waiters have been resumed)."""
+        return self.callbacks is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the event is pending or failed."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        """True when triggered successfully (not failed)."""
+        return self._value is not _PENDING and self._exception is None
+
+    # -- triggering ------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self._schedule()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, re-raised in each waiter."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._exception = exception
+        self._schedule()
+        return self
+
+    def _schedule(self) -> None:
+        if not self._scheduled:
+            self._scheduled = True
+            self.sim._schedule_event(self)
+
+    # -- kernel interface --------------------------------------------------
+
+    def _fire(self) -> None:
+        """Run callbacks.  Called only by the simulator loop."""
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Attach ``cb``; runs immediately via the queue if already fired."""
+        if self.callbacks is None:
+            # Already processed: schedule a fresh micro-event so ordering
+            # stays deterministic rather than invoking synchronously.
+            ev = Event(self.sim)
+            ev.callbacks.append(lambda _e: cb(self))
+            if self._exception is not None:
+                # Deliver the failure to the late waiter as well.
+                ev._exception = self._exception
+                ev._schedule()
+            else:
+                ev.succeed(self._value)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """Event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._scheduled = True
+        sim._schedule_event(self, delay)
+
+
+class AllOf(Event):
+    """Composite event that fires when all child events have fired.
+
+    Succeeds with the list of child values (in the order given).  If any
+    child fails, the composite fails with the first failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev._exception is not None:
+            self.fail(ev._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Composite event that fires when the first child event fires.
+
+    Succeeds with ``(index, value)`` of the first child to fire.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def _cb(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev._exception is not None:
+                self.fail(ev._exception)
+            else:
+                self.succeed((index, ev._value))
+
+        return _cb

@@ -1,0 +1,117 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects (or other processes — a :class:`Process` *is* an event that fires on
+completion, so ``yield child_process`` joins it).  The value sent back into
+the generator is the event's value, which lets models write natural code:
+
+.. code-block:: python
+
+    def sender(sim, link):
+        yield sim.timeout(1.5)                 # advance time
+        grant = link.request()
+        yield grant                            # block for the resource
+        ...
+        link.release(grant)
+
+Processes propagate exceptions: a failed event re-raises inside the
+generator, and an uncaught exception inside a generator fails the process
+event (and, if nobody joins the process, aborts the simulation run — silent
+death hides protocol bugs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+ProcGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcGen, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you call the process function with ()?"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current simulation time.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, ev: Event) -> None:
+        """Advance the generator with the value (or exception) of ``ev``."""
+        if self.triggered:
+            return  # stale wakeup after the process already finished
+        if self._waiting_on is not None and ev is not self._waiting_on:
+            return  # superseded (e.g. by an interrupt); ignore the old event
+        self._waiting_on = None
+        try:
+            if ev._exception is not None:
+                target = self.generator.throw(ev._exception)
+            else:
+                target = self.generator.send(ev._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate fail-fast
+            self.sim._process_crashed(self, exc)
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc2 = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event/Process objects (use sim.timeout(dt) to sleep)"
+            )
+            self.generator.close()
+            self.sim._process_crashed(self, exc2)
+            self.fail(exc2)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Throw ``exc`` (default :class:`Interrupted`) into the process.
+
+        Used by failure-injection tests.  The process may catch it and keep
+        running; uncaught, it fails the process event.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        kick = Event(self.sim)
+        kick.add_callback(self._resume)
+        kick._exception = exc if exc is not None else Interrupted(self.name)
+        kick._schedule()
+        # Supersede whatever the process was waiting on so its eventual
+        # trigger is ignored as a stale wakeup.
+        self._waiting_on = kick
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Interrupted(SimulationError):
+    """Default exception delivered by :meth:`Process.interrupt`."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"process {name!r} interrupted")

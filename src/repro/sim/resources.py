@@ -1,0 +1,169 @@
+"""Contended resources: FIFO resources and message stores.
+
+:class:`FifoResource` models anything that serializes work — a PCI-X bus, a
+link direction, a NIC DMA engine, a CPU.  Grants are strictly FIFO, which
+matches bus arbitration and switch-port scheduling closely enough for this
+study (the paper's effects come from *which* resources are shared, not from
+arbitration fairness subtleties).
+
+:class:`Store` is an unbounded FIFO mailbox used for queues between model
+components (e.g. NIC-to-host completion queues, the Elan thread processor's
+work queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+
+class FifoResource:
+    """A resource with ``capacity`` slots granted in request order."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        # (event, request_time) pairs; Event uses __slots__, so the request
+        # time rides alongside rather than on the event.
+        self._waiters: Deque[tuple] = deque()
+        # -- statistics --------------------------------------------------
+        self.total_grants = 0
+        self.total_wait_time = 0.0
+        self._busy_since: Optional[float] = None
+        self.busy_time = 0.0
+
+    # -- acquisition -------------------------------------------------------
+
+    def request(self) -> Event:
+        """An event granted when a slot is free (FIFO order).
+
+        The event's value is the request time, so callers can compute their
+        own queueing delay; :attr:`total_wait_time` accumulates it globally.
+        """
+        ev = Event(self.sim)
+        if self._in_use < self.capacity and not self._waiters:
+            self._grant(ev, self.sim.now)
+        else:
+            self._waiters.append((ev, self.sim.now))
+        return ev
+
+    def _grant(self, ev: Event, requested_at: float) -> None:
+        self._in_use += 1
+        self.total_grants += 1
+        self.total_wait_time += self.sim.now - requested_at
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        ev.succeed(requested_at)
+
+    def release(self, req: Event) -> None:
+        """Return the slot held by ``req``."""
+        if not req.triggered:
+            # Cancellation of a queued request.
+            for pair in self._waiters:
+                if pair[0] is req:
+                    self._waiters.remove(pair)
+                    return
+            raise SimulationError("release() of unknown pending request")
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        self._in_use -= 1
+        if self._waiters:
+            nxt, requested_at = self._waiters.popleft()
+            self._grant(nxt, requested_at)
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+
+    def using(self, duration: float) -> Generator[Event, Any, None]:
+        """Generator helper: acquire, hold ``duration`` us, release."""
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time at least one slot was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        total = elapsed if elapsed is not None else self.sim.now
+        return 0.0 if total <= 0 else busy / total
+
+
+class Store:
+    """Unbounded FIFO mailbox with blocking ``get``.
+
+    ``put`` never blocks (queues between hardware components in this model
+    are backpressured elsewhere — e.g. by credit counts in the NIC models).
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_puts = 0
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter, if any."""
+        self.total_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event delivering the oldest item (immediately if available)."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def cancel_get(self, ev: Event) -> None:
+        """Withdraw a pending :meth:`get` (no-op if already delivered)."""
+        if ev.triggered:
+            return
+        try:
+            self._getters.remove(ev)
+        except ValueError:
+            raise SimulationError("cancel_get() of unknown getter")
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop: the oldest item or ``None``."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Processes currently blocked in :meth:`get`."""
+        return len(self._getters)

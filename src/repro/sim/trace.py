@@ -1,0 +1,52 @@
+"""Lightweight category-filtered tracing for simulation debugging.
+
+Tracing is off by default and compiled down to a single boolean check on the
+hot path.  When enabled, records are kept in memory as tuples and can be
+filtered by category — e.g. ``Tracer(enabled=True, categories={"rndv"})`` to
+watch only rendezvous protocol traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+TraceRecord = Tuple[float, str, str]
+
+
+class Tracer:
+    """Collects ``(time, category, message)`` records."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Optional[Iterable[str]] = None,
+        limit: int = 1_000_000,
+    ) -> None:
+        self.enabled = enabled
+        self.categories: Optional[Set[str]] = set(categories) if categories else None
+        self.limit = limit
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def log(self, now: float, category: str, message: str) -> None:
+        """Record one event if tracing is on and the category passes."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append((now, category, message))
+
+    def select(self, category: str) -> List[TraceRecord]:
+        """All records of one category, in time order."""
+        return [r for r in self.records if r[1] == category]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.records)

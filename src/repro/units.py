@@ -1,0 +1,106 @@
+"""Unit conventions and helpers.
+
+The whole simulator uses a single, consistent set of units:
+
+* **time**: microseconds (``us``) as ``float``;
+* **data**: bytes as ``int``;
+* **bandwidth**: bytes per microsecond (``B/us``), which conveniently
+  equals **MB/s** (1 MB/s = 1e6 B / 1e6 us = 1 B/us);
+* **cost**: US dollars (April 2004 list prices) as ``float``.
+
+Helpers below convert to and from the human-facing units used in the paper
+(MB/s bandwidth plots, KB/MB message sizes, seconds of runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+#: One kibibyte / mebibyte / gibibyte in bytes (the paper's "KB"/"MB" axis
+#: labels are binary sizes, as is conventional for message-size sweeps).
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+#: Microseconds per second / millisecond.
+US_PER_S = 1_000_000.0
+US_PER_MS = 1_000.0
+
+
+def mb_per_s(bytes_count: float, useconds: float) -> float:
+    """Bandwidth in MB/s for ``bytes_count`` bytes moved in ``useconds`` us.
+
+    With the package's unit conventions this is simply bytes/us, but the
+    helper guards against zero durations and documents intent at call sites.
+    """
+    if useconds <= 0.0:
+        raise ValueError(f"non-positive duration: {useconds}")
+    return bytes_count / useconds
+
+
+def us_from_s(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * US_PER_S
+
+
+def s_from_us(useconds: float) -> float:
+    """Convert microseconds to seconds."""
+    return useconds / US_PER_S
+
+
+def us_from_ms(millis: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return millis * US_PER_MS
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable message size (``0``, ``512``, ``4 KB``, ``4 MB``)."""
+    if n >= MiB and n % MiB == 0:
+        return f"{n // MiB} MB"
+    if n >= KiB and n % KiB == 0:
+        return f"{n // KiB} KB"
+    return str(n)
+
+
+def fmt_time_us(t: float) -> str:
+    """Human-readable time: us below 1 ms, ms below 1 s, else seconds."""
+    if t < US_PER_MS:
+        return f"{t:.2f} us"
+    if t < US_PER_S:
+        return f"{t / US_PER_MS:.2f} ms"
+    return f"{t / US_PER_S:.3f} s"
+
+
+def pow2_sizes(max_bytes: int, include_zero: bool = True) -> List[int]:
+    """Message-size sweep: 0 (optional), then 1, 2, 4 ... ``max_bytes``.
+
+    This is the sweep used by the Pallas/IMB PingPong benchmark and by the
+    paper's Figure 1 x axes.
+    """
+    if max_bytes < 1:
+        raise ValueError("max_bytes must be >= 1")
+    sizes: List[int] = [0] if include_zero else []
+    s = 1
+    while s <= max_bytes:
+        sizes.append(s)
+        s *= 2
+    return sizes
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used by the b_eff logarithmic average.
+
+    Raises :class:`ValueError` on empty input or non-positive entries, both
+    of which would indicate a broken measurement upstream.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    log_sum = 0.0
+    import math
+
+    for v in vals:
+        if v <= 0.0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+        log_sum += math.log(v)
+    return math.exp(log_sum / len(vals))

@@ -1,0 +1,169 @@
+"""Application-skeleton tests: completion, configs, paper-shape claims.
+
+The heavyweight 32-node efficiency anchors live in
+tests/integration/test_paper_shapes.py; these tests exercise the apps at
+small scale on both networks.
+"""
+
+import pytest
+
+from repro.apps import (
+    CG_CLASS_A,
+    CgConfig,
+    LammpsConfig,
+    LJS,
+    MEMBRANE,
+    SWEEP150,
+    Sweep3dConfig,
+    cg_program,
+    grind_time_ns,
+    lammps_program,
+    mops_per_process,
+    sweep3d_program,
+)
+from repro.errors import ConfigurationError
+from repro.mpi import Machine
+
+NETS = ("ib", "elan")
+
+
+def run(net, nodes, ppn, prog, seed=1):
+    m = Machine(net, nodes, ppn=ppn, seed=seed)
+    return max(m.run(prog).values)
+
+
+# -- configuration validation ---------------------------------------------------
+
+def test_lammps_config_validation():
+    with pytest.raises(ConfigurationError):
+        LammpsConfig(
+            name="bad", atoms_per_proc=0, bytes_per_atom=1,
+            compute_per_step_us=1.0, skin_factor=1.0, steps=1,
+            thermo_every=1, overlap=False, interior_fraction=0.0,
+            jitter_cv=0.0,
+        )
+    with pytest.raises(ConfigurationError):
+        LammpsConfig(
+            name="bad", atoms_per_proc=1, bytes_per_atom=1,
+            compute_per_step_us=1.0, skin_factor=1.0, steps=1,
+            thermo_every=1, overlap=True, interior_fraction=1.5,
+            jitter_cv=0.0,
+        )
+
+
+def test_lammps_face_bytes_scales_with_atoms():
+    small = LammpsConfig(
+        name="s", atoms_per_proc=1000, bytes_per_atom=40,
+        compute_per_step_us=1.0, skin_factor=1.0, steps=1, thermo_every=1,
+        overlap=False, interior_fraction=0.0, jitter_cv=0.0,
+    )
+    assert LJS.face_bytes() > small.face_bytes()
+
+
+def test_sweep_config_validation():
+    with pytest.raises(ConfigurationError):
+        Sweep3dConfig(n=0)
+    with pytest.raises(ConfigurationError):
+        Sweep3dConfig(n=10, mmi=10, angles=6)
+
+
+def test_cg_config_validation():
+    with pytest.raises(ConfigurationError):
+        CgConfig(name="bad", na=0, nnz=1, niter=1)
+
+
+def test_cg_flops_accounting():
+    per_step = CG_CLASS_A.flops_per_cg_step()
+    assert per_step > 2 * CG_CLASS_A.nnz
+    assert CG_CLASS_A.total_flops() == pytest.approx(
+        per_step * CG_CLASS_A.cgitmax * CG_CLASS_A.niter
+    )
+
+
+# -- completion on both networks ----------------------------------------------------
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("nodes,ppn", [(1, 1), (2, 1), (2, 2), (4, 1)])
+def test_lammps_ljs_completes(net, nodes, ppn):
+    t = run(net, nodes, ppn, lammps_program(_quick(LJS)))
+    assert t > 0
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_lammps_membrane_completes(net):
+    t = run(net, 4, 2, lammps_program(_quick(MEMBRANE)))
+    assert t > 0
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("nodes", [1, 4])
+def test_sweep3d_completes(net, nodes):
+    cfg = Sweep3dConfig(n=30, iterations=1)
+    t = run(net, nodes, 1, sweep3d_program(cfg))
+    assert t > 0
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_cg_completes(net, nodes):
+    cfg = CgConfig(name="t", na=2000, nnz=50_000, niter=1, cgitmax=5)
+    t = run(net, nodes, 1, cg_program(cfg))
+    assert t > 0
+
+
+# -- determinism -------------------------------------------------------------------
+
+@pytest.mark.parametrize("net", NETS)
+def test_same_seed_same_time(net):
+    cfg = _quick(LJS)
+    t1 = run(net, 2, 1, lammps_program(cfg), seed=7)
+    t2 = run(net, 2, 1, lammps_program(cfg), seed=7)
+    assert t1 == t2
+
+
+def test_different_seed_different_jitter():
+    cfg = _quick(LJS)
+    t1 = run("elan", 2, 1, lammps_program(cfg), seed=7)
+    t2 = run("elan", 2, 1, lammps_program(cfg), seed=8)
+    assert t1 != t2
+
+
+# -- metric helpers ---------------------------------------------------------------
+
+def test_grind_time_metric():
+    g = grind_time_ns(SWEEP150, wall_us=1e6)
+    # 1 s over 150^3 * 6 angles * 8 octants * iterations cell-angles.
+    assert g == pytest.approx(
+        1e9 / (150**3 * 6 * 8 * SWEEP150.iterations)
+    )
+
+
+def test_mops_metric():
+    mops = mops_per_process(CG_CLASS_A, wall_us=1e6, nprocs=2)
+    assert mops == pytest.approx(CG_CLASS_A.total_flops() / 1e6 / 2)
+
+
+# -- paper shapes at small scale ------------------------------------------------------
+
+def test_sweep3d_superlinear_at_four():
+    """Fixed 150^3: 4 processes exceed 4x speedup via the cache model."""
+    cfg = Sweep3dConfig(n=150, iterations=1)
+    t1 = run("elan", 1, 1, sweep3d_program(cfg))
+    t4 = run("elan", 4, 1, sweep3d_program(cfg))
+    assert t1 / (4 * t4) > 1.0
+
+
+def test_membrane_overlap_helps_elan_more():
+    """The overlap gap (Elan vs IB) is larger for membrane than LJS."""
+    gaps = {}
+    for cfg in (_quick(LJS), _quick(MEMBRANE)):
+        times = {net: run(net, 8, 1, lammps_program(cfg)) for net in NETS}
+        gaps[cfg.name] = times["ib"] / times["elan"]
+    assert gaps["membrane"] > gaps["ljs"]
+
+
+def _quick(cfg: LammpsConfig) -> LammpsConfig:
+    """A 3-step copy of a LAMMPS config for cheap tests."""
+    from dataclasses import replace
+
+    return replace(cfg, steps=3, thermo_every=2)

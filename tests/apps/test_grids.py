@@ -1,0 +1,99 @@
+"""Unit tests for process-grid factorizations."""
+
+import pytest
+
+from repro.apps import (
+    coords2d,
+    coords3d,
+    factor2d,
+    factor3d,
+    neighbors3d,
+    rank2d,
+    rank3d,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 8, 12, 16, 27, 32, 64, 100])
+def test_factor3d_product(p):
+    px, py, pz = factor3d(p)
+    assert px * py * pz == p
+    assert px <= py <= pz
+
+
+def test_factor3d_prefers_cubic():
+    assert factor3d(8) == (2, 2, 2)
+    assert factor3d(27) == (3, 3, 3)
+    assert factor3d(64) == (4, 4, 4)
+
+
+def test_factor3d_32_is_balanced():
+    px, py, pz = factor3d(32)
+    assert (px, py, pz) == (2, 4, 4)
+
+
+def test_factor3d_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        factor3d(0)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8, 16, 25, 32, 36])
+def test_factor2d_product(p):
+    pr, pc = factor2d(p)
+    assert pr * pc == p
+    assert pr >= pc
+
+
+def test_factor2d_npb_convention():
+    assert factor2d(16) == (4, 4)
+    assert factor2d(32) == (8, 4)  # 2:1 for odd powers of two
+    assert factor2d(25) == (5, 5)
+
+
+def test_coords3d_roundtrip():
+    dims = (2, 3, 4)
+    for r in range(24):
+        x, y, z = coords3d(r, dims)
+        assert rank3d(x, y, z, dims) == r
+
+
+def test_coords3d_out_of_range():
+    with pytest.raises(ConfigurationError):
+        coords3d(24, (2, 3, 4))
+
+
+def test_rank3d_periodic_wrap():
+    dims = (4, 4, 2)
+    assert rank3d(-1, 0, 0, dims) == rank3d(3, 0, 0, dims)
+    assert rank3d(4, 0, 0, dims) == rank3d(0, 0, 0, dims)
+
+
+def test_neighbors3d_structure():
+    dims = (4, 4, 2)
+    n = neighbors3d(5, dims)
+    assert len(n) == 6
+    # x neighbours differ only in x coordinate.
+    x, y, z = coords3d(5, dims)
+    assert coords3d(n[0], dims) == ((x - 1) % 4, y, z)
+    assert coords3d(n[1], dims) == ((x + 1) % 4, y, z)
+
+
+def test_neighbors_collapsed_dimension_self():
+    # Extent-1 z dimension: z neighbours wrap to self.
+    dims = (2, 2, 1)
+    n = neighbors3d(0, dims)
+    assert n[4] == 0 and n[5] == 0
+
+
+def test_coords2d_roundtrip():
+    dims = (5, 5)
+    for r in range(25):
+        row, col = coords2d(r, dims)
+        assert rank2d(row, col, dims) == r
+
+
+def test_rank2d_no_wrap():
+    with pytest.raises(ConfigurationError):
+        rank2d(-1, 0, (2, 2))
+    with pytest.raises(ConfigurationError):
+        rank2d(0, 2, (2, 2))

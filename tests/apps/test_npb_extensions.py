@@ -1,0 +1,95 @@
+"""Tests for the FT and MG extension skeletons."""
+
+import pytest
+
+from repro.apps import (
+    FT_CLASS_A,
+    FT_CLASS_W,
+    FtConfig,
+    MG_CLASS_S,
+    MgConfig,
+    ft_program,
+    mg_program,
+)
+from repro.errors import ConfigurationError
+from repro.mpi import Machine
+
+NETS = ("ib", "elan")
+
+
+def wall(net, nodes, prog, ppn=1, seed=2):
+    m = Machine(net, nodes, ppn=ppn, seed=seed)
+    return max(m.run(prog).values)
+
+
+# -- configuration --------------------------------------------------------------
+
+def test_ft_config_validation():
+    with pytest.raises(ConfigurationError):
+        FtConfig(name="bad", nx=1, ny=8, nz=8, niter=1)
+    with pytest.raises(ConfigurationError):
+        FtConfig(name="bad", nx=8, ny=8, nz=8, niter=0)
+
+
+def test_ft_flops_grow_with_grid():
+    assert FT_CLASS_A.flops_per_iteration() > FT_CLASS_W.flops_per_iteration()
+    assert FT_CLASS_A.points == 256 * 256 * 128
+
+
+def test_mg_config_validation():
+    with pytest.raises(ConfigurationError):
+        MgConfig(name="bad", n=100, niter=1)  # not a power of two
+    with pytest.raises(ConfigurationError):
+        MgConfig(name="bad", n=32, niter=0)
+
+
+def test_mg_levels():
+    assert MgConfig(name="x", n=256, niter=1).levels == 7  # 256..4
+    assert MG_CLASS_S.levels == 4  # 32,16,8,4
+
+
+# -- execution -------------------------------------------------------------------
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_ft_completes(net, nodes):
+    t = wall(net, nodes, ft_program(FT_CLASS_W))
+    assert t > 0
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("nodes", [1, 4, 8])
+def test_mg_completes(net, nodes):
+    t = wall(net, nodes, mg_program(MG_CLASS_S))
+    assert t > 0
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_ft_2ppn(net):
+    t = wall(net, 2, ft_program(FT_CLASS_W), ppn=2)
+    assert t > 0
+
+
+# -- comparative shapes ------------------------------------------------------------
+
+def test_ft_gap_smaller_than_mg_gap():
+    """FT is bandwidth-bound (both networks near the PCI-X bound); MG's
+    coarse levels are latency-bound, where Elan's advantage is biggest."""
+    gaps = {}
+    for name, prog_factory, nodes in (
+        ("ft", lambda: ft_program(FT_CLASS_W), 8),
+        ("mg", lambda: mg_program(MG_CLASS_S), 8),
+    ):
+        t = {net: wall(net, nodes, prog_factory()) for net in NETS}
+        gaps[name] = t["ib"] / t["elan"]
+    assert gaps["mg"] > gaps["ft"]
+
+
+def test_mg_elan_advantage_exists():
+    t = {net: wall(net, 8, mg_program(MG_CLASS_S)) for net in NETS}
+    assert t["elan"] < t["ib"]
+
+
+def test_ft_both_networks_comparable_at_scale():
+    t = {net: wall(net, 4, ft_program(FT_CLASS_W)) for net in NETS}
+    assert t["ib"] / t["elan"] < 1.5

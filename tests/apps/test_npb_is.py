@@ -1,0 +1,70 @@
+"""Tests for the IS (integer sort) extension skeleton."""
+
+import pytest
+
+from repro.apps import IS_CLASS_A, IS_CLASS_S, IsConfig, is_program
+from repro.apps.npb_is.model import _bucket_volumes
+from repro.errors import ConfigurationError
+from repro.mpi import Machine
+
+NETS = ("ib", "elan")
+
+
+def wall(net, nodes, cfg, seed=2):
+    m = Machine(net, nodes, ppn=1, seed=seed)
+    return max(m.run(is_program(cfg)).values)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        IsConfig(name="bad", total_keys=0, niter=1)
+    with pytest.raises(ConfigurationError):
+        IsConfig(name="bad", total_keys=100, niter=1, skew=-1)
+
+
+def test_bucket_volumes_conserve_keys():
+    import numpy as np
+
+    cfg = IS_CLASS_S
+    rng = np.random.default_rng(3)
+    vols = _bucket_volumes(cfg, 8, rng)
+    per_sender = cfg.total_keys // 8
+    for sender_counts in vols:
+        assert sum(sender_counts) == per_sender
+        assert all(c >= 0 for c in sender_counts)
+
+
+def test_uniform_skew_zero():
+    import numpy as np
+
+    cfg = IsConfig(name="u", total_keys=1 << 16, niter=1, skew=0.0)
+    vols = _bucket_volumes(cfg, 4, np.random.default_rng(0))
+    per_pair = cfg.total_keys // 4 // 4
+    assert all(abs(c - per_pair) <= 4 for row in vols for c in row)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_is_completes(net, nodes):
+    assert wall(net, nodes, IS_CLASS_S) > 0
+
+
+def test_is_deterministic():
+    assert wall("ib", 4, IS_CLASS_S, seed=9) == wall("ib", 4, IS_CLASS_S, seed=9)
+
+
+def test_is_communication_dominated_at_scale():
+    """IS has almost no compute: efficiency collapses fast."""
+    t1 = wall("elan", 1, IS_CLASS_S)
+    t8 = wall("elan", 8, IS_CLASS_S)
+    eff = t1 / (8 * t8)
+    assert eff < 0.8
+
+
+def test_skewed_distribution_slower_than_uniform():
+    """Hot receivers serialize on their downlink: skew costs time."""
+    uniform = IsConfig(name="u", total_keys=1 << 20, niter=2, skew=0.0)
+    skewed = IsConfig(name="s", total_keys=1 << 20, niter=2, skew=3.0)
+    t_uni = wall("ib", 8, uniform)
+    t_skew = wall("ib", 8, skewed)
+    assert t_skew > t_uni

@@ -1,0 +1,44 @@
+"""Unit tests for the ablation studies (quick parameterizations)."""
+
+import pytest
+
+from repro.core.ablations import (
+    eager_threshold_ablation,
+    independent_progress_ablation,
+    registration_cache_ablation,
+)
+from repro.units import KiB, MiB
+
+
+def test_independent_progress_orders_correctly():
+    result = independent_progress_ablation(nodes=4)
+    assert result["ib"] < result["ib_progress_thread"]
+    assert result["ib_progress_thread"] <= result["elan"] + 0.02
+    assert 0.0 < result["gap_recovered_fraction"] <= 1.1
+
+
+def test_eager_threshold_moves_the_jump():
+    result = eager_threshold_ablation(
+        thresholds=[1 * KiB, 4 * KiB],
+        probe_sizes=[1 * KiB, 2 * KiB, 4 * KiB],
+    )
+    lat = {s.label: s for s in result["latency"]}
+    small = lat["eager <= 1024 B"]
+    large = lat["eager <= 4096 B"]
+    # 2 KB is rendezvous under the small threshold, eager under the large.
+    assert large.at(2048.0) < small.at(2048.0)
+
+
+def test_eager_threshold_memory_tradeoff():
+    result = eager_threshold_ablation(
+        thresholds=[1 * KiB, 16 * KiB],
+        probe_sizes=[1 * KiB],
+    )
+    mem = result["memory"]
+    assert mem.y[1] > mem.y[0] * 4  # memory scales with slot size
+
+
+def test_registration_cache_fix_removes_dip():
+    series = registration_cache_ablation(cache_sizes=[6 * MiB, 32 * MiB])
+    assert series.y[0] < 0.9  # era cache: thrash
+    assert series.y[1] > 0.97  # big cache: dip gone

@@ -1,0 +1,58 @@
+"""Unit tests for scaling-efficiency metrics."""
+
+import pytest
+
+from repro.core import efficiency_series, fixed_efficiency, scaled_efficiency
+from repro.errors import ConfigurationError
+
+
+def test_scaled_perfect_is_flat_time():
+    eff = scaled_efficiency(100.0, [(1, 100.0), (8, 100.0), (32, 100.0)])
+    assert [e for _, e in eff] == [1.0, 1.0, 1.0]
+
+
+def test_scaled_slower_is_lower():
+    eff = scaled_efficiency(100.0, [(32, 125.0)])
+    assert eff[0][1] == pytest.approx(0.8)
+
+
+def test_scaled_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        scaled_efficiency(0.0, [(1, 1.0)])
+    with pytest.raises(ConfigurationError):
+        scaled_efficiency(1.0, [(1, 0.0)])
+
+
+def test_fixed_perfect_is_linear_speedup():
+    eff = fixed_efficiency(1, 100.0, [(1, 100.0), (4, 25.0), (16, 6.25)])
+    for _, e in eff:
+        assert e == pytest.approx(1.0)
+
+
+def test_fixed_superlinear_exceeds_one():
+    # Cache effect: 4 procs more than 4x faster.
+    eff = fixed_efficiency(1, 100.0, [(4, 20.0)])
+    assert eff[0][1] == pytest.approx(1.25)
+
+
+def test_fixed_normalized_at_four_processes():
+    # The paper's Figure 5 normalization point.
+    eff = fixed_efficiency(4, 100.0, [(4, 100.0), (16, 30.0)])
+    assert eff[0][1] == pytest.approx(1.0)
+    assert eff[1][1] == pytest.approx(100.0 / 30.0 / 4.0)
+
+
+def test_fixed_rejects_bad_base():
+    with pytest.raises(ConfigurationError):
+        fixed_efficiency(0, 100.0, [(1, 1.0)])
+
+
+def test_efficiency_series_percent():
+    s = efficiency_series("x", [(1, 1.0), (32, 0.84)])
+    assert s.y == [100.0, 84.0]
+    assert s.x == [1.0, 32.0]
+
+
+def test_efficiency_series_fractional():
+    s = efficiency_series("x", [(1, 1.0)], percent=False)
+    assert s.y == [1.0]

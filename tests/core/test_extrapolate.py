@@ -1,0 +1,77 @@
+"""Unit tests for the Figure 8 trend extrapolation."""
+
+import pytest
+
+from repro.core import (
+    efficiency_gap_at,
+    extrapolate_efficiency,
+    extrapolate_scaled_time,
+    fit_trend,
+)
+from repro.core.extrapolate import EFFICIENCY_FLOOR
+from repro.errors import ConfigurationError
+
+
+MEASURED = [(1, 1.0), (2, 0.98), (4, 0.95), (8, 0.92), (16, 0.89), (32, 0.86)]
+
+
+def test_fit_recovers_linear_trend():
+    # Exact line: E = 1.0 - 0.03 * log2(n)
+    pairs = [(n, 1.0 - 0.03 * i) for i, n in enumerate([1, 2, 4, 8, 16, 32])]
+    fit = fit_trend(pairs, tail_points=6)
+    assert fit.slope_per_doubling == pytest.approx(-0.03)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.efficiency_at(1024) == pytest.approx(1.0 - 0.3)
+
+
+def test_fit_needs_two_points():
+    with pytest.raises(ConfigurationError):
+        fit_trend([(1, 1.0)])
+
+
+def test_fit_rejects_degenerate_x():
+    with pytest.raises(ConfigurationError):
+        fit_trend([(8, 1.0), (8, 0.9)])
+
+
+def test_extrapolation_extends_by_doublings():
+    out = extrapolate_efficiency(MEASURED, out_to_nodes=256)
+    xs = [n for n, _ in out]
+    assert xs[: len(MEASURED)] == [n for n, _ in MEASURED]
+    assert xs[len(MEASURED):] == [64, 128, 256]
+
+
+def test_extrapolated_efficiency_declines():
+    out = extrapolate_efficiency(MEASURED, out_to_nodes=8192)
+    tail = [e for n, e in out if n > 32]
+    assert all(a >= b for a, b in zip(tail, tail[1:]))
+
+
+def test_efficiency_floor_clamps():
+    steep = [(1, 1.0), (2, 0.7), (4, 0.4), (8, 0.1)]
+    out = extrapolate_efficiency(steep, out_to_nodes=8192)
+    assert min(e for _, e in out) >= EFFICIENCY_FLOOR
+
+
+def test_scaled_time_is_base_over_efficiency():
+    times = extrapolate_scaled_time(100.0, MEASURED, out_to_nodes=64)
+    by_n = dict(times)
+    assert by_n[1] == pytest.approx(100.0)
+    assert by_n[32] == pytest.approx(100.0 / 0.86)
+    assert by_n[64] > by_n[32]
+
+
+def test_gap_between_two_trends():
+    elan = [(8, 0.95), (16, 0.94), (32, 0.93)]  # ~flat
+    ib = [(8, 0.92), (16, 0.88), (32, 0.84)]  # tailing off
+    gap = efficiency_gap_at(elan, ib, 1024)
+    assert gap > 0.20  # widening toward tens of points
+
+
+def test_fig8_quantitative_shape():
+    """The construction reproduces the paper's ~40-point claim when fed
+    trends like the paper's own measurements."""
+    elan = [(8, 0.94), (16, 0.935), (32, 0.93)]
+    ib = [(8, 0.95), (16, 0.92), (32, 0.84)]  # 'tailing off rapidly'
+    gap = efficiency_gap_at(elan, ib, 1024)
+    assert 0.25 <= gap <= 0.60

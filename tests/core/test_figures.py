@@ -1,0 +1,115 @@
+"""Tests for the figure registry, rendering and the report driver.
+
+Figures run in quick mode here; the benchmark harness regenerates them at
+paper scale.
+"""
+
+import pytest
+
+from repro.core import EXPERIMENTS, render_series_table, render_table
+from repro.core.figures import (
+    fig1a_latency,
+    fig1c_ratio,
+    fig7_cost,
+    table1_platform,
+    table2_3_prices,
+)
+from repro.core.report import render_report, run_experiments
+
+
+def test_registry_covers_every_paper_exhibit():
+    expected = {
+        "table1",
+        "fig1a",
+        "fig1b",
+        "fig1c",
+        "fig1d",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "table2_3",
+        "fig7",
+        "fig8",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_table1_mentions_both_networks():
+    text = table1_platform().render()
+    assert "PowerEdge" in text
+    assert "Voltaire" in text
+    assert "QsNetII" in text or "QM-500" in text
+
+
+def test_fig1a_series_structure():
+    fig = fig1a_latency(quick=True)
+    assert len(fig.series) == 2
+    labels = {s.label for s in fig.series}
+    assert labels == {"4X InfiniBand", "Quadrics Elan-4"}
+    rendered = fig.render()
+    assert "Figure 1(a)" in rendered
+
+
+def test_fig1c_ratios_positive():
+    fig = fig1c_ratio(quick=True)
+    for s in fig.series:
+        assert all(v > 0 for v in s.y)
+
+
+def test_fig7_runs_without_simulation():
+    fig = fig7_cost()
+    assert len(fig.series) == 4
+    assert "51" in fig.notes or "%" in fig.notes
+
+
+def test_tables_2_3_render_with_provenance():
+    text = table2_3_prices().render()
+    assert "$995" in text
+    assert "$93,000" in text
+    assert "estimated" in text
+
+
+def test_run_experiments_rejects_unknown():
+    with pytest.raises(KeyError):
+        run_experiments(ids=["fig99"])
+
+
+def test_report_renders_selected(capsys):
+    figs = run_experiments(ids=["table1", "table2_3", "fig7"])
+    text = render_report(figs, with_anchors=False)
+    assert "Reproduction report" in text
+    assert "Figure 7" in text
+    assert "Table 1" in text
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(("a", "b"), [("only-one",)])
+
+
+def test_render_series_table_merges_x_values():
+    from repro.results import DataSeries
+
+    s1 = DataSeries(label="A", x=[1.0, 2.0], y=[10.0, 20.0])
+    s2 = DataSeries(label="B", x=[2.0, 3.0], y=[200.0, 300.0])
+    text = render_series_table([s1, s2])
+    assert "-" in text  # missing cells dashed
+    assert "A" in text and "B" in text
+
+
+def test_calibration_anchors_all_pass():
+    from repro.core import check_all
+
+    anchors = check_all()
+    failures = {k: a for k, a in anchors.items() if not a.passed}
+    assert not failures, failures
+
+
+def test_render_anchors_table():
+    from repro.core import microbenchmark_anchors, render_anchors
+
+    text = render_anchors(microbenchmark_anchors())
+    assert "PASS" in text
+    assert "latency_ratio" in text

@@ -1,0 +1,46 @@
+"""Tests for the parameter-inventory renderer."""
+
+import pytest
+
+from repro.core.parameters import (
+    dataclass_rows,
+    parameter_count,
+    render_parameters,
+)
+from repro.networks.params import IB_4X
+
+
+def test_rows_cover_nested_dataclasses():
+    rows = dict(dataclass_rows(IB_4X))
+    assert "fabric.link_bandwidth" in rows
+    assert "eager_threshold" in rows
+    assert rows["eager_threshold"] == "1024"
+
+
+def test_rows_reject_non_dataclass():
+    with pytest.raises(TypeError):
+        dataclass_rows(42)
+
+
+def test_render_contains_all_sections():
+    text = render_parameters()
+    for needle in (
+        "PowerEdge 1750",
+        "Cache model",
+        "Pollution",
+        "MVAPICH parameters",
+        "Tports parameters",
+        "Units:",
+    ):
+        assert needle in text
+
+
+def test_render_reflects_live_values():
+    text = render_parameters()
+    assert "hca_tx_processing" in text
+    assert f"{IB_4X.hca_tx_processing:g}" in text
+
+
+def test_parameter_count_is_substantial():
+    # The models expose dozens of documented constants.
+    assert parameter_count() > 50

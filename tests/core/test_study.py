@@ -1,0 +1,97 @@
+"""Tests for the scaling-study orchestration."""
+
+import pytest
+
+from repro.apps import LJS, lammps_program
+from repro.core import ScalingStudy
+from repro.errors import ConfigurationError
+
+
+def quick_ljs():
+    from dataclasses import replace
+
+    return lammps_program(replace(LJS, steps=2, thermo_every=1))
+
+
+def test_study_validation():
+    with pytest.raises(ConfigurationError):
+        ScalingStudy(quick_ljs, node_counts=[])
+    with pytest.raises(ConfigurationError):
+        ScalingStudy(quick_ljs, node_counts=[1], mode="weird")
+    with pytest.raises(ConfigurationError):
+        ScalingStudy(quick_ljs, node_counts=[1], repetitions=0)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    study = ScalingStudy(
+        quick_ljs,
+        node_counts=[1, 2, 4],
+        networks=("ib", "elan"),
+        ppns=(1,),
+        repetitions=2,
+        mode="scaled",
+    )
+    return study.run()
+
+
+def test_study_covers_all_cells(small_result):
+    assert set(small_result.curves) == {("ib", 1), ("elan", 1)}
+    for points in small_result.curves.values():
+        assert [p.nodes for p in points] == [1, 2, 4]
+        assert all(p.stats.n == 2 for p in points)
+
+
+def test_study_repetitions_differ_but_slightly(small_result):
+    """Seeded jitter: repetitions differ, spread stays small."""
+    for points in small_result.curves.values():
+        for p in points:
+            if p.nodes > 1:
+                assert p.stats.spread < 0.05
+
+
+def test_time_series_units(small_result):
+    series = small_result.time_series(unit=1e6)
+    assert len(series) == 2
+    for s in series:
+        assert all(v < 10 for v in s.y)  # seconds, small runs
+
+
+def test_efficiency_starts_at_100(small_result):
+    for s in small_result.efficiency_series():
+        assert s.y[0] == pytest.approx(100.0)
+
+
+def test_efficiency_declines_with_nodes(small_result):
+    for (net, ppn) in small_result.curves:
+        pairs = small_result.efficiency(net, ppn)
+        assert pairs[-1][1] <= pairs[0][1]
+
+
+def test_progress_callback_invoked():
+    messages = []
+    study = ScalingStudy(
+        quick_ljs, node_counts=[1, 2], networks=("elan",), repetitions=1
+    )
+    study.run(progress=messages.append)
+    assert len(messages) == 2
+    assert "elan" in messages[0]
+
+
+def test_fixed_mode_uses_process_counts():
+    from repro.apps import Sweep3dConfig, sweep3d_program
+
+    cfg = Sweep3dConfig(n=30, iterations=1)
+    study = ScalingStudy(
+        lambda: sweep3d_program(cfg),
+        node_counts=[1, 4],
+        networks=("elan",),
+        repetitions=1,
+        mode="fixed",
+    )
+    result = study.run()
+    pairs = result.efficiency("elan", 1)
+    # Fixed-size: 4 nodes should be several times faster, efficiency near
+    # or above ~0.5 for this tiny grid.
+    assert pairs[0][1] == pytest.approx(1.0)
+    assert 0.2 < pairs[1][1] < 1.6

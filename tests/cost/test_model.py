@@ -1,0 +1,105 @@
+"""Cost-model tests: paper prices, Figure 7 relationships, Section 5 gaps."""
+
+import pytest
+
+from repro.cost import (
+    NODE_PRICE,
+    IB_PRICES,
+    QUADRICS_PRICES,
+    cost_curves,
+    elan4_cost,
+    ib_24_288_cost,
+    ib96_cost,
+    system_cost_gap,
+    table_rows,
+)
+from repro.errors import CostModelError
+
+
+def test_paper_legible_prices_are_exact():
+    """Values readable in the paper's tables must not drift."""
+    assert IB_PRICES["hca"].dollars == 995.0
+    assert IB_PRICES["hca"].from_paper
+    assert IB_PRICES["cable"].dollars == 175.0
+    assert QUADRICS_PRICES["node_chassis"].dollars == 93_000.0
+    assert QUADRICS_PRICES["top_chassis"].dollars == 110_500.0
+    assert QUADRICS_PRICES["clock"].dollars == 1_800.0
+    assert QUADRICS_PRICES["cable_5m"].dollars == 185.0
+    assert NODE_PRICE == 2_500.0
+
+
+def test_estimated_prices_are_flagged():
+    est = [p for p in IB_PRICES.values() if not p.from_paper]
+    assert len(est) == 3  # all three switch tiers were OCR casualties
+    assert not QUADRICS_PRICES["nic"].from_paper
+
+
+def test_table_rows_carry_provenance():
+    rows = table_rows(IB_PRICES)
+    provs = {r[2] for r in rows}
+    assert provs == {"paper", "estimated"}
+
+
+def test_cost_itemization_adds_up():
+    c = elan4_cost(32)
+    assert c.total == pytest.approx(
+        c.adapters + c.cables + c.switching + c.extras
+    )
+    assert c.per_port == pytest.approx(c.total / 32)
+    assert c.system_per_node() == pytest.approx(c.per_port + NODE_PRICE)
+
+
+def test_elan_single_chassis_up_to_128():
+    c64 = elan4_cost(64)
+    c128 = elan4_cost(128)
+    assert c64.switching == c128.switching  # one chassis either way
+    c256 = elan4_cost(256)
+    assert c256.switching > c128.switching
+
+
+def test_figure7_orderings_at_scale():
+    """The paper's Figure 7 relationships at 512-1024 nodes."""
+    for n in (512, 1024):
+        elan = elan4_cost(n).per_port
+        i96 = ib96_cost(n).per_port
+        i24 = ib_24_288_cost(n).per_port
+        # Elan-4 and 96-port IB are close ("relatively cost competitive").
+        assert abs(elan - i96) / i96 < 0.10
+        # The new switch generation is dramatically cheaper.
+        assert i24 < 0.55 * elan
+
+
+def test_section5_system_gaps():
+    """~parity vs 96-port and ~51% vs 24+288-port at 1024 nodes."""
+    gaps = system_cost_gap(1024)
+    assert abs(gaps["vs_96_port"]) < 0.10
+    assert 0.40 <= gaps["vs_24_288"] <= 0.60
+
+
+def test_cost_per_port_decreases_then_steps():
+    """Filling a chassis amortizes it; overflowing one adds a step."""
+    c32 = ib96_cost(32).per_port
+    c96 = ib96_cost(96).per_port
+    c97 = ib96_cost(97).per_port
+    assert c96 < c32
+    assert c97 > c96  # the second switch tier arrives
+
+
+def test_cost_curves_cover_all_configs():
+    series = cost_curves([8, 32, 128, 1024])
+    assert len(series) == 4
+    labels = {s.label for s in series}
+    assert "Quadrics Elan-4" in labels
+    assert any("24+288" in l for l in labels)
+
+
+def test_cost_rejects_zero_nodes():
+    with pytest.raises(CostModelError):
+        elan4_cost(0)
+    with pytest.raises(CostModelError):
+        ib96_cost(-1)
+
+
+def test_ib96_capacity_limit():
+    with pytest.raises(CostModelError):
+        ib96_cost(48 * 96 + 1)

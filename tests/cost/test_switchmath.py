@@ -1,0 +1,67 @@
+"""Unit tests for switch-count arithmetic."""
+
+import pytest
+
+from repro.errors import CostModelError
+from repro.cost import (
+    best_fabric,
+    max_two_level_nodes,
+    single_chassis,
+    two_level,
+)
+
+
+def test_single_chassis_exact_fit():
+    sw = single_chassis(96, 96)
+    assert sw.leaves == 1
+    assert sw.spines == 0
+    assert sw.isl_cables == 0
+    assert sw.total_switches == 1
+
+
+def test_single_chassis_overflow_rejected():
+    with pytest.raises(CostModelError):
+        single_chassis(97, 96)
+
+
+def test_single_chassis_needs_nodes():
+    with pytest.raises(CostModelError):
+        single_chassis(0, 24)
+
+
+def test_two_level_basic_counts():
+    # 1024 nodes from 24-port leaves (12 down) and 288-port spines.
+    sw = two_level(1024, 24, 288)
+    assert sw.leaves == 86  # ceil(1024/12)
+    assert sw.spines == 4  # ceil(86*12/288)
+    assert sw.isl_cables == 86 * 12
+
+
+def test_two_level_96_port_homogeneous():
+    sw = two_level(1024, 96, 96)
+    assert sw.leaves == 22  # ceil(1024/48)
+    assert sw.spines == 11  # ceil(22*48/96)
+
+
+def test_two_level_capacity_limit():
+    assert max_two_level_nodes(24, 288) == 12 * 288
+    with pytest.raises(CostModelError):
+        two_level(12 * 288 + 1, 24, 288)
+
+
+def test_two_level_rejects_bad_radix():
+    with pytest.raises(CostModelError):
+        two_level(10, 1, 96)
+
+
+def test_best_fabric_picks_single_when_possible():
+    assert best_fabric(20, 24).total_switches == 1
+    assert best_fabric(25, 24).leaves > 1
+
+
+def test_counts_monotone_in_nodes():
+    prev = 0
+    for n in range(1, 400, 13):
+        total = best_fabric(n, 24, 288).total_switches
+        assert total >= prev or total == 1
+        prev = total if n > 24 else 0

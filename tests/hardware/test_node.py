@@ -1,0 +1,140 @@
+"""Unit tests for the node model: CPU attribution, PCI-X, host copies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import Node
+from repro.sim import Simulator
+
+
+def test_node_has_two_cpus_by_default():
+    sim = Simulator()
+    node = Node(sim, 0)
+    assert len(node.cpus) == 2
+    assert node.cpu_for_rank(0) is not node.cpu_for_rank(1)
+
+
+def test_cpu_for_rank_out_of_range():
+    sim = Simulator()
+    node = Node(sim, 0)
+    with pytest.raises(ConfigurationError):
+        node.cpu_for_rank(2)
+
+
+def test_cpu_busy_attribution():
+    sim = Simulator()
+    node = Node(sim, 0)
+    cpu = node.cpus[0]
+
+    def proc():
+        yield from cpu.busy(5.0, kind="compute")
+        yield from cpu.busy(3.0, kind="mpi")
+
+    sim.spawn(proc())
+    sim.run()
+    assert cpu.compute_time == pytest.approx(5.0)
+    assert cpu.mpi_overhead_time == pytest.approx(3.0)
+
+
+def test_cpu_busy_zero_is_free():
+    sim = Simulator()
+    node = Node(sim, 0)
+
+    def proc():
+        yield from node.cpus[0].busy(0.0)
+
+    sim.spawn(proc())
+    assert sim.run() == 0.0
+
+
+def test_cpu_busy_negative_rejected():
+    sim = Simulator()
+    node = Node(sim, 0)
+
+    def proc():
+        yield from node.cpus[0].busy(-1.0)
+
+    sim.spawn(proc())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_two_cpus_run_concurrently():
+    sim = Simulator()
+    node = Node(sim, 0)
+    ends = []
+
+    def proc(i):
+        yield from node.cpus[i].busy(10.0)
+        ends.append(sim.now)
+
+    sim.spawn(proc(0))
+    sim.spawn(proc(1))
+    sim.run()
+    assert ends == [10.0, 10.0]
+
+
+def test_pcix_stage_uses_spec_bandwidth():
+    sim = Simulator()
+    node = Node(sim, 0)
+    st = node.pcix_stage()
+    assert st.bandwidth == node.spec.pcix_bandwidth
+    assert st.resource is node.pcix
+
+
+def test_pcix_is_shared_between_users():
+    """Two simultaneous DMA users serialize — the 2 PPN bottleneck."""
+    sim = Simulator()
+    node = Node(sim, 0)
+    st = node.pcix_stage()
+    ends = []
+
+    def dma():
+        from repro.sim import transfer
+
+        end = yield from transfer(sim, [st], 95_000)  # 100us at 950 MB/s
+        ends.append(end)
+
+    sim.spawn(dma())
+    sim.spawn(dma())
+    sim.run()
+    assert max(ends) >= 200.0  # serialized, not parallel
+
+
+def test_host_copy_time():
+    sim = Simulator()
+    node = Node(sim, 0)
+
+    def proc():
+        yield from node.host_copy(150_000)  # 100us at 1500 MB/s
+
+    sim.spawn(proc())
+    assert sim.run() == pytest.approx(100.0)
+
+
+def test_host_copy_zero_free_and_negative_rejected():
+    sim = Simulator()
+    node = Node(sim, 0)
+
+    def ok():
+        yield from node.host_copy(0)
+
+    sim.spawn(ok())
+    assert sim.run() == 0.0
+    with pytest.raises(ConfigurationError):
+        list(node.host_copy(-1))
+
+
+def test_host_copies_contend_on_membus():
+    sim = Simulator()
+    node = Node(sim, 0)
+    ends = []
+
+    def proc():
+        yield from node.host_copy(150_000)
+        ends.append(sim.now)
+
+    sim.spawn(proc())
+    sim.spawn(proc())
+    sim.run()
+    assert sorted(ends) == [pytest.approx(100.0), pytest.approx(200.0)]

@@ -1,0 +1,78 @@
+"""Unit tests for node specs, cache and pollution models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    CacheSpec,
+    NodeSpec,
+    PollutionSpec,
+    POWEREDGE_1750,
+    XEON_CACHE,
+)
+from repro.units import KiB, MiB
+
+
+def test_default_node_matches_paper_platform():
+    spec = POWEREDGE_1750
+    assert spec.cpus == 2
+    assert spec.cpu_ghz == pytest.approx(3.06)
+    assert spec.l2_bytes == 512 * KiB
+    assert spec.list_price == 2500.0
+    assert "Xeon" in spec.describe()
+
+
+def test_node_spec_validation():
+    with pytest.raises(ConfigurationError):
+        NodeSpec(cpus=0)
+    with pytest.raises(ConfigurationError):
+        NodeSpec(l2_bytes=0)
+    with pytest.raises(ConfigurationError):
+        NodeSpec(pcix_bandwidth=-1)
+
+
+def test_cache_factor_is_one_inside_l2():
+    assert XEON_CACHE.speed_factor(0) == 1.0
+    assert XEON_CACHE.speed_factor(512 * KiB) == 1.0
+
+
+def test_cache_factor_saturates():
+    spec = CacheSpec()
+    assert spec.speed_factor(100 * MiB) == pytest.approx(spec.out_of_cache_penalty)
+
+
+def test_cache_factor_monotone_nondecreasing():
+    spec = CacheSpec()
+    prev = 0.0
+    for ws in (0, 256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 64 * MiB):
+        f = spec.speed_factor(ws)
+        assert f >= prev
+        prev = f
+
+
+def test_cache_factor_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        CacheSpec().speed_factor(-1)
+
+
+def test_cache_ramp_is_between_bounds():
+    spec = CacheSpec(out_of_cache_penalty=2.0, saturation_ratio=4.0)
+    mid = spec.speed_factor(int(2.5 * spec.l2_bytes))
+    assert 1.0 < mid < 2.0
+
+
+def test_pollution_zero_for_no_traffic():
+    assert PollutionSpec().slowdown(0) == 0.0
+    assert PollutionSpec().slowdown(-5) == 0.0
+
+
+def test_pollution_caps_at_max():
+    p = PollutionSpec(kappa=1.0, max_slowdown=0.4)
+    assert p.slowdown(100 * MiB) == pytest.approx(0.4)
+
+
+def test_pollution_scales_with_bytes():
+    p = PollutionSpec()
+    small = p.slowdown(64 * KiB)
+    large = p.slowdown(256 * KiB)
+    assert 0 < small < large < p.max_slowdown

@@ -1,0 +1,156 @@
+"""Integration tests: the paper's application-level claims at 32 nodes.
+
+These are the reproduction's acceptance tests — heavier than unit tests
+(full sweeps at up to 64 ranks), one repetition per point with a fixed
+seed (determinism makes averaging unnecessary for shape checks).
+"""
+
+import pytest
+
+from repro.apps import (
+    CG_CLASS_A,
+    LJS,
+    MEMBRANE,
+    SWEEP150,
+    cg_program,
+    lammps_program,
+    sweep3d_program,
+)
+from repro.core import efficiency_gap_at
+from repro.mpi import Machine
+
+
+def wall(net, nodes, ppn, prog, seed=11):
+    m = Machine(net, nodes, ppn=ppn, seed=seed)
+    return max(m.run(prog).values)
+
+
+@pytest.fixture(scope="module")
+def membrane_effs():
+    """Membrane scaling efficiency at 32 nodes for all four curves."""
+    effs = {}
+    for net in ("ib", "elan"):
+        for ppn in (1, 2):
+            t1 = wall(net, 1, ppn, lammps_program(MEMBRANE))
+            t32 = wall(net, 32, ppn, lammps_program(MEMBRANE))
+            effs[(net, ppn)] = t1 / t32
+    return effs
+
+
+def test_membrane_32_node_ordering(membrane_effs):
+    """Paper Figure 3(b): Elan 1 > Elan 2 > IB 1 > IB 2 PPN."""
+    e = membrane_effs
+    assert e[("elan", 1)] > e[("elan", 2)] > e[("ib", 1)] > e[("ib", 2)]
+
+
+def test_membrane_32_node_values(membrane_effs):
+    """Paper: ~93/91% (Elan) and ~84/77% (IB); tolerance +-6 points."""
+    targets = {
+        ("elan", 1): 0.93,
+        ("elan", 2): 0.91,
+        ("ib", 1): 0.84,
+        ("ib", 2): 0.77,
+    }
+    for key, target in targets.items():
+        assert abs(membrane_effs[key] - target) <= 0.06, (
+            key,
+            membrane_effs[key],
+            target,
+        )
+
+
+def test_membrane_elan_ppn_curves_close(membrane_effs):
+    """Elan's 1 and 2 PPN curves are 'extremely close'; IB's are not."""
+    elan_gap = membrane_effs[("elan", 1)] - membrane_effs[("elan", 2)]
+    ib_gap = membrane_effs[("ib", 1)] - membrane_effs[("ib", 2)]
+    assert elan_gap < 0.05
+    assert ib_gap > elan_gap
+
+
+def test_ljs_orderings():
+    """Paper Figure 2: Elan marginally ahead at 1 PPN, wider at 2 PPN."""
+    effs = {}
+    for net in ("ib", "elan"):
+        for ppn in (1, 2):
+            t1 = wall(net, 1, ppn, lammps_program(LJS))
+            t32 = wall(net, 32, ppn, lammps_program(LJS))
+            effs[(net, ppn)] = t1 / t32
+    gap_1ppn = effs[("elan", 1)] - effs[("ib", 1)]
+    gap_2ppn = effs[("elan", 2)] - effs[("ib", 2)]
+    assert gap_1ppn > 0.0
+    assert gap_2ppn >= gap_1ppn
+    # 1 PPN outperforms 2 PPN for both networks.
+    assert effs[("ib", 1)] > effs[("ib", 2)]
+    assert effs[("elan", 1)] > effs[("elan", 2)]
+
+
+@pytest.fixture(scope="module")
+def sweep_times():
+    return {
+        net: {
+            nodes: wall(net, nodes, 1, sweep3d_program(SWEEP150))
+            for nodes in (1, 4, 9, 16)
+        }
+        for net in ("ib", "elan")
+    }
+
+
+def test_sweep3d_superlinear_1_to_4(sweep_times):
+    """Figure 4(b): superlinear speedup from the cache effect."""
+    for net in ("ib", "elan"):
+        t = sweep_times[net]
+        assert t[1] / (4 * t[4]) > 1.02, net
+
+
+def test_sweep3d_elan_ahead_at_9_and_16(sweep_times):
+    """Figure 4(b): 'the significant advantage Elan-4 holds at 9 and 16'."""
+    for nodes in (9, 16):
+        eff = {
+            net: sweep_times[net][1] / (nodes * sweep_times[net][nodes])
+            for net in ("ib", "elan")
+        }
+        assert eff["elan"] > eff["ib"], nodes
+
+
+def test_sweep3d_efficiency_trend_smooth_on_ib(sweep_times):
+    """Figure 5: no anomalous 16->25 jump in the modelled IB curve."""
+    t = sweep_times["ib"]
+    t25 = wall("ib", 25, 1, sweep3d_program(SWEEP150))
+    eff16 = t[1] / (16 * t[16])
+    eff25 = t[1] / (25 * t25)
+    assert eff25 < eff16 * 1.05  # continues the declining trend
+
+
+def test_cg_drops_fast_and_quadrics_advantage_grows():
+    """Figure 6: both drop rapidly; Quadrics keeps a growing edge."""
+    effs = {}
+    for net in ("ib", "elan"):
+        t1 = wall(net, 1, 1, cg_program(CG_CLASS_A))
+        effs[net] = {
+            nodes: t1 / (nodes * wall(net, nodes, 1, cg_program(CG_CLASS_A)))
+            for nodes in (8, 32)
+        }
+    # Rapid drop: both clearly below 90% by 32 processes.
+    assert effs["ib"][32] < 0.90
+    assert effs["elan"][32] < 0.95
+    # Quadrics advantage exists and grows with node count.
+    adv8 = effs["elan"][8] - effs["ib"][8]
+    adv32 = effs["elan"][32] - effs["ib"][32]
+    assert adv8 > 0.0
+    assert adv32 > adv8
+
+
+def test_fig8_extrapolated_gap():
+    """Figure 8: a tens-of-points efficiency gap opens by 1024 nodes."""
+    curves = {}
+    for net in ("ib", "elan"):
+        t1 = wall(net, 1, 1, lammps_program(MEMBRANE))
+        pairs = []
+        for nodes in (8, 16, 32):
+            t = wall(net, nodes, 1, lammps_program(MEMBRANE))
+            pairs.append((nodes, t1 / t))
+        curves[net] = pairs
+    gap = efficiency_gap_at(curves["elan"], curves["ib"], 1024)
+    assert 0.10 <= gap <= 0.60
+    gap8192 = efficiency_gap_at(curves["elan"], curves["ib"], 8192)
+    assert gap8192 >= gap  # the gap keeps widening

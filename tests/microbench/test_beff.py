@@ -1,0 +1,75 @@
+"""b_eff benchmark tests — structure and Figure 1(d) shape."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microbench import beff_sizes, run_beff, run_beff_scaling
+from repro.units import KiB, MiB
+
+
+def test_beff_sizes_structure():
+    sizes = beff_sizes(1 * MiB)
+    assert sizes[0] == 1
+    assert sizes[-1] == 1 * MiB
+    assert len(sizes) <= 21
+    assert sizes == sorted(set(sizes))
+
+
+def test_beff_sizes_geometric_spacing():
+    sizes = beff_sizes(1 * MiB)
+    # Consecutive ratios are roughly constant (geometric progression).
+    ratios = [b / a for a, b in zip(sizes[5:], sizes[6:])]
+    assert max(ratios) / min(ratios) < 2.0
+
+
+def test_beff_sizes_rejects_tiny_max():
+    with pytest.raises(ConfigurationError):
+        beff_sizes(10)
+
+
+def test_beff_needs_two_processes():
+    with pytest.raises(ConfigurationError):
+        run_beff("ib", 1)
+
+
+def test_beff_ppn_divisibility():
+    with pytest.raises(ConfigurationError):
+        run_beff("ib", 5, ppn=2)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        net: run_beff_scaling(net, (2, 4, 8), max_size=64 * KiB)
+        for net in ("ib", "elan")
+    }
+
+
+def test_beff_aggregate_grows_with_procs(results):
+    for net, series in results.items():
+        beffs = [r.beff for r in series]
+        assert beffs[0] < beffs[-1], net
+
+
+def test_beff_per_process_declines(results):
+    """Figure 1(d): an ideal machine would be flat; real ones decline."""
+    for net, series in results.items():
+        per_proc = [r.per_process for r in series]
+        assert per_proc[0] > per_proc[-1], net
+
+
+def test_beff_elan_above_ib(results):
+    for e, i in zip(results["elan"], results["ib"]):
+        assert e.per_process > i.per_process
+
+
+def test_beff_dominated_by_short_messages(results):
+    """The log average sits well below the per-size peak."""
+    r = results["elan"][0]
+    assert r.beff < 0.5 * max(r.per_size)
+
+
+def test_beff_deterministic():
+    a = run_beff("elan", 4, seed=5, max_size=64 * KiB)
+    b = run_beff("elan", 4, seed=5, max_size=64 * KiB)
+    assert a.beff == b.beff

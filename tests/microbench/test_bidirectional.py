@@ -1,0 +1,57 @@
+"""Bidirectional bandwidth: the PCI-X duplex ceiling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microbench import run_bidirectional, run_streaming
+from repro.microbench.bidirectional import bidirectional_program
+from repro.units import KiB
+
+
+def test_program_validates():
+    with pytest.raises(ConfigurationError):
+        bidirectional_program(64, 0)
+    with pytest.raises(ConfigurationError):
+        bidirectional_program(64, 10, window=0)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    sizes = [1024, 16 * KiB, 256 * KiB]
+    return {
+        net: {
+            "bi": run_bidirectional(net, sizes=sizes),
+            "uni": run_streaming(net, sizes=sizes),
+        }
+        for net in ("ib", "elan")
+    }
+
+
+def test_aggregate_exceeds_unidirectional(sweeps):
+    """Two directions beat one — there is *some* duplexing."""
+    for net, d in sweeps.items():
+        assert d["bi"].bandwidth(256 * KiB) > d["uni"].bandwidth(256 * KiB), net
+
+
+def test_pcix_prevents_full_duplex_doubling(sweeps):
+    """The shared host bus caps aggregate bandwidth well below 2x."""
+    for net, d in sweeps.items():
+        ratio = d["bi"].bandwidth(256 * KiB) / d["uni"].bandwidth(256 * KiB)
+        assert ratio < 1.6, (net, ratio)
+
+
+def test_aggregate_below_pcix_peak(sweeps):
+    """Aggregate can't exceed what one PCI-X bus moves in total."""
+    for net, d in sweeps.items():
+        assert d["bi"].bandwidth(256 * KiB) < 1066.0, net
+
+
+def test_lookup_error(sweeps):
+    with pytest.raises(KeyError):
+        sweeps["ib"]["bi"].bandwidth(999)
+
+
+def test_deterministic():
+    a = run_bidirectional("elan", sizes=[4096], seed=2)
+    b = run_bidirectional("elan", sizes=[4096], seed=2)
+    assert a.bandwidth(4096) == b.bandwidth(4096)

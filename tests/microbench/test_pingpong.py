@@ -1,0 +1,93 @@
+"""Ping-pong micro-benchmark tests, including the Figure 1(a/b) anchors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microbench import run_pingpong
+from repro.microbench.pingpong import default_repetitions, pingpong_program
+from repro.mpi import Machine
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    sizes = [0, 64, 1024, 2048, 8192, 65536, 1 * MiB, 4 * MiB]
+    return {net: run_pingpong(net, sizes=sizes) for net in ("ib", "elan")}
+
+
+def test_repetition_schedule_shrinks_with_size():
+    assert default_repetitions(0) > default_repetitions(1 * MiB)
+    assert default_repetitions(8 * MiB) >= 4
+
+
+def test_program_validates_inputs():
+    with pytest.raises(ConfigurationError):
+        pingpong_program(-1, 10)
+    with pytest.raises(ConfigurationError):
+        pingpong_program(0, 0)
+
+
+def test_latency_monotone_in_size(sweeps):
+    for net, series in sweeps.items():
+        lats = [p.latency_us for p in series.points]
+        assert all(a <= b * 1.001 for a, b in zip(lats, lats[1:])), net
+
+
+def test_anchor_latency_ratio(sweeps):
+    """Elan-4 zero-byte latency ~ half of InfiniBand's."""
+    ratio = sweeps["elan"].latency(0) / sweeps["ib"].latency(0)
+    assert 0.35 <= ratio <= 0.65
+
+
+def test_anchor_ib_protocol_jump(sweeps):
+    """Sharp IB latency jump between 1 KB and 2 KB, absent on Elan."""
+    ib_jump = sweeps["ib"].latency(2 * KiB) / sweeps["ib"].latency(1 * KiB)
+    elan_jump = sweeps["elan"].latency(2 * KiB) / sweeps["elan"].latency(1 * KiB)
+    assert ib_jump > 1.5
+    # Elan grows smoothly with serialization; no protocol discontinuity.
+    assert elan_jump < 1.7
+    assert elan_jump < ib_jump / 1.25
+
+
+def test_anchor_8k_bandwidths(sweeps):
+    """Paper: 552 MB/s (Elan) vs 249 MB/s (IB) at 8 KB — a 2x factor."""
+    elan = sweeps["elan"].bandwidth(8 * KiB)
+    ib = sweeps["ib"].bandwidth(8 * KiB)
+    assert elan == pytest.approx(552, rel=0.25)
+    assert ib == pytest.approx(249, rel=0.25)
+    assert 1.5 <= elan / ib <= 2.8
+
+
+def test_anchor_asymptotic_bandwidth_parity(sweeps):
+    """Both asymptotically approach similar (PCI-X-bound) bandwidth."""
+    elan = sweeps["elan"].bandwidth(1 * MiB)
+    ib = sweeps["ib"].bandwidth(1 * MiB)
+    assert abs(elan - ib) / ib < 0.15
+    assert 800 <= elan <= 1000
+
+
+def test_anchor_ib_4mb_registration_dip(sweeps):
+    """IB only: 4 MB bandwidth drops below 1 MB bandwidth."""
+    assert sweeps["ib"].bandwidth(4 * MiB) < 0.9 * sweeps["ib"].bandwidth(1 * MiB)
+    assert sweeps["elan"].bandwidth(4 * MiB) >= sweeps["elan"].bandwidth(1 * MiB)
+
+
+def test_series_lookup_errors():
+    series = run_pingpong("elan", sizes=[0, 64])
+    with pytest.raises(KeyError):
+        series.latency(128)
+    with pytest.raises(KeyError):
+        series.bandwidth(128)
+
+
+def test_determinism_across_runs():
+    a = run_pingpong("ib", sizes=[1024], seed=3)
+    b = run_pingpong("ib", sizes=[1024], seed=3)
+    assert a.latency(1024) == b.latency(1024)
+
+
+def test_extra_ranks_sit_idle():
+    m = Machine("elan", 4, ppn=1)
+    result = m.run(pingpong_program(256, 10))
+    assert result.values[0] > 0
+    assert result.values[2] is None and result.values[3] is None

@@ -1,0 +1,69 @@
+"""Streaming micro-benchmark tests, including the >5x small-message anchor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microbench import run_streaming
+from repro.microbench.streaming import default_message_count, streaming_program
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    sizes = [64, 256, 1024, 8192, 65536]
+    return {net: run_streaming(net, sizes=sizes) for net in ("ib", "elan")}
+
+
+def test_message_count_schedule():
+    assert default_message_count(64) > default_message_count(1 * MiB)
+
+
+def test_program_validates():
+    with pytest.raises(ConfigurationError):
+        streaming_program(64, 0)
+    with pytest.raises(ConfigurationError):
+        streaming_program(64, 10, window=0)
+
+
+def test_streaming_beats_pingpong_bandwidth():
+    """Pipelining multiple messages must beat one-at-a-time ping-pong."""
+    from repro.microbench import run_pingpong
+
+    for net in ("ib", "elan"):
+        st = run_streaming(net, sizes=[8192])
+        pp = run_pingpong(net, sizes=[8192])
+        assert st.bandwidth(8192) > pp.bandwidth(8192), net
+
+
+def test_anchor_small_message_ratio(sweeps):
+    """Paper Figure 1(c): over 5x Elan advantage at small sizes."""
+    ratio = sweeps["elan"].bandwidth(64) / sweeps["ib"].bandwidth(64)
+    assert ratio > 5.0
+
+
+def test_ratio_converges_at_large_sizes(sweeps):
+    small = sweeps["elan"].bandwidth(64) / sweeps["ib"].bandwidth(64)
+    large = sweeps["elan"].bandwidth(65536) / sweeps["ib"].bandwidth(65536)
+    assert large < small
+    assert large < 1.6
+
+
+def test_message_rate_reported(sweeps):
+    """Small-message rates: HCA WQE processing bounds IB near 500k/s."""
+    ib_rate = sweeps["ib"].message_rate(64)
+    elan_rate = sweeps["elan"].message_rate(64)
+    assert 2e5 <= ib_rate <= 8e5
+    assert elan_rate > 1.5e6
+
+
+def test_bandwidth_monotone_in_size(sweeps):
+    for net, series in sweeps.items():
+        bws = [p.bandwidth for p in series.points]
+        assert all(a <= b * 1.05 for a, b in zip(bws, bws[1:])), net
+
+
+def test_lookup_errors(sweeps):
+    with pytest.raises(KeyError):
+        sweeps["ib"].bandwidth(12345)
+    with pytest.raises(KeyError):
+        sweeps["ib"].message_rate(12345)

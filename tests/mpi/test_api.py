@@ -1,0 +1,106 @@
+"""MpiRank facade edge cases: communicator translation, identity, misuse."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import ANY_SOURCE, Communicator, Machine
+
+
+def test_rank_and_size_properties():
+    m = Machine("elan", 2, ppn=2)
+
+    def prog(mpi):
+        yield from mpi.compute(0.0)
+        return (mpi.rank, mpi.size)
+
+    values = m.run(prog).values
+    assert values == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+def test_comm_rank_identity():
+    m = Machine("elan", 4)
+    sub = Communicator([1, 3], name="sub")
+    api = m.apis[3]
+    assert api.comm_rank(None) == 3
+    assert api.comm_rank(sub) == 1
+
+
+def test_peer_translation_through_comm():
+    """Group-rank addressing: dest=1 in a subcomm maps to world rank 3."""
+
+    def prog(mpi):
+        sub = Communicator([0, 3], name="pair")
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=64, comm=sub)
+            return None
+        if mpi.rank == 3:
+            status = yield from mpi.recv(source=0, size=64, comm=sub)
+            return status.source  # world rank of the sender
+        return None
+
+    m = Machine("elan", 4)
+    values = m.run(prog).values
+    assert values[3] == 0
+
+
+def test_any_source_passes_through_comm():
+    def prog(mpi):
+        sub = Communicator([0, 1], name="pair2")
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=8, comm=sub)
+            return None
+        if mpi.rank == 1:
+            status = yield from mpi.recv(source=ANY_SOURCE, size=8, comm=sub)
+            return status.size
+        return None
+
+    m = Machine("elan", 2)
+    assert m.run(prog).values[1] == 8
+
+
+def test_now_advances():
+    def prog(mpi):
+        t0 = mpi.now
+        yield from mpi.compute(100.0)
+        return mpi.now - t0
+
+    m = Machine("elan", 1)
+    assert m.run(prog).values[0] == pytest.approx(100.0)
+
+
+def test_negative_compute_rejected():
+    def prog(mpi):
+        yield from mpi.compute(-1.0)
+
+    m = Machine("elan", 1)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+def test_send_outside_comm_rank_range_rejected():
+    def prog(mpi):
+        sub = Communicator([0, 1], name="small")
+        yield from mpi.send(dest=2, size=8, comm=sub)  # no group rank 2
+
+    m = Machine("elan", 4)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+def test_waitall_empty_is_noop():
+    def prog(mpi):
+        yield from mpi.waitall([])
+        return True
+
+    m = Machine("ib", 1)
+    assert m.run(prog).values[0]
+
+
+def test_elapsed_metrics_on_result():
+    def prog(mpi):
+        yield from mpi.compute(2500.0)
+        return None
+
+    m = Machine("elan", 2)
+    result = m.run(prog)
+    assert result.elapsed_us == pytest.approx(2500.0, abs=50.0)

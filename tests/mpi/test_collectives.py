@@ -1,0 +1,165 @@
+"""Collective algorithms: completion, subgroups, scaling behaviour."""
+
+import pytest
+
+from repro.mpi import Communicator, Machine
+
+NETS = ("ib", "elan")
+SIZES = (2, 3, 4, 7, 8)
+
+
+def run_collective(net, nprocs, body, ppn=1, **kw):
+    m = Machine(net, nprocs // ppn, ppn=ppn, **kw)
+    return m.run(body)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_barrier_completes_and_synchronizes(net, n):
+    def prog(mpi):
+        # Stagger arrival; the barrier must hold everyone to the latest.
+        yield from mpi.compute(float(mpi.rank * 50))
+        yield from mpi.barrier()
+        return mpi.now
+
+    r = run_collective(net, n, prog)
+    exit_times = r.values
+    latest_arrival = (n - 1) * 50
+    assert min(exit_times) >= latest_arrival
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_bcast_completes(net, n):
+    def prog(mpi):
+        yield from mpi.bcast(4096, root=0)
+        return True
+
+    r = run_collective(net, n, prog)
+    assert all(r.values)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_bcast_nonzero_root(net, n):
+    def prog(mpi):
+        yield from mpi.bcast(1024, root=n - 1)
+        return True
+
+    r = run_collective(net, n, prog)
+    assert all(r.values)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_reduce_completes(net, n):
+    def prog(mpi):
+        yield from mpi.reduce(8192, root=0)
+        return True
+
+    r = run_collective(net, n, prog)
+    assert all(r.values)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_allreduce_completes_all_sizes(net, n):
+    def prog(mpi):
+        yield from mpi.allreduce(8)
+        yield from mpi.allreduce(65536)
+        return True
+
+    r = run_collective(net, n, prog)
+    assert all(r.values)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_allgather_completes(net, n):
+    def prog(mpi):
+        yield from mpi.allgather(2048)
+        return True
+
+    r = run_collective(net, n, prog)
+    assert all(r.values)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoall_completes(net, n):
+    def prog(mpi):
+        yield from mpi.alltoall(1024)
+        return True
+
+    r = run_collective(net, n, prog)
+    assert all(r.values)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_collective_on_subcommunicator(net):
+    def prog(mpi):
+        evens = Communicator([0, 2], name="evens")
+        odds = Communicator([1, 3], name="odds")
+        mine = evens if mpi.rank % 2 == 0 else odds
+        yield from mpi.allreduce(1024, comm=mine)
+        yield from mpi.barrier(comm=mine)
+        return True
+
+    r = run_collective(net, 4, prog)
+    assert all(r.values)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_collective_by_nonmember_rejected(net):
+    def prog(mpi):
+        sub = Communicator([0, 1], name="sub")
+        yield from mpi.barrier(comm=sub)  # ranks 2,3 are not members
+
+    m = Machine(net, 4, ppn=1)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_consecutive_collectives_do_not_crosstalk(net):
+    def prog(mpi):
+        for _ in range(5):
+            yield from mpi.allreduce(64)
+            yield from mpi.barrier()
+        return True
+
+    r = run_collective(net, 4, prog)
+    assert all(r.values)
+
+
+def test_allreduce_latency_grows_with_group_size():
+    def prog(mpi):
+        t0 = mpi.now
+        yield from mpi.allreduce(8)
+        return mpi.now - t0
+
+    t4 = max(run_collective("elan", 4, prog).values)
+    t8 = max(run_collective("elan", 8, prog).values)
+    assert t8 > t4
+
+
+def test_small_allreduce_faster_on_elan():
+    """Latency-bound collectives track the p2p latency advantage."""
+
+    def prog(mpi):
+        t0 = mpi.now
+        for _ in range(10):
+            yield from mpi.allreduce(8)
+        return mpi.now - t0
+
+    t = {net: max(run_collective(net, 8, prog).values) for net in NETS}
+    assert t["elan"] < t["ib"]
+
+
+def test_negative_collective_size_rejected():
+    def prog(mpi):
+        yield from mpi.allreduce(-1)
+
+    m = Machine("elan", 2, ppn=1)
+    with pytest.raises(Exception):
+        m.run(prog)

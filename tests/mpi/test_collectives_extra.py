@@ -1,0 +1,137 @@
+"""Gather, scatter and alltoallv collectives."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import Machine
+
+NETS = ("ib", "elan")
+SIZES = (2, 3, 4, 7, 8)
+
+
+def run_collective(net, nprocs, body):
+    m = Machine(net, nprocs, ppn=1)
+    return m.run(body)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_gather_completes(net, n):
+    def prog(mpi):
+        yield from mpi.gather(2048, root=0)
+        return True
+
+    assert all(run_collective(net, n, prog).values)
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_scatter_completes(net, n):
+    def prog(mpi):
+        yield from mpi.scatter(2048, root=0)
+        return True
+
+    assert all(run_collective(net, n, prog).values)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_gather_scatter_nonzero_root(net):
+    def prog(mpi):
+        yield from mpi.gather(512, root=2)
+        yield from mpi.scatter(512, root=2)
+        return True
+
+    assert all(run_collective(net, 4, prog).values)
+
+
+def test_gather_root_takes_longer_with_more_data():
+    def make(nbytes):
+        def prog(mpi):
+            t0 = mpi.now
+            yield from mpi.gather(nbytes, root=0)
+            return mpi.now - t0
+
+        return prog
+
+    small = max(run_collective("elan", 8, make(1024)).values)
+    large = max(run_collective("elan", 8, make(64 * 1024)).values)
+    assert large > small
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("n", SIZES)
+def test_alltoallv_uniform(net, n):
+    def prog(mpi):
+        sizes = [1024] * n
+        sizes[mpi.rank] = 0
+        yield from mpi.alltoallv(sizes, list(sizes))
+        return True
+
+    assert all(run_collective(net, n, prog).values)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_alltoallv_asymmetric_sizes(net):
+    n = 4
+
+    def prog(mpi):
+        # sender i sends (i+1)*100 bytes to every peer.
+        send = [(mpi.rank + 1) * 100] * n
+        send[mpi.rank] = 0
+        recv = [(r + 1) * 100 for r in range(n)]
+        recv[mpi.rank] = 0
+        yield from mpi.alltoallv(send, recv)
+        return True
+
+    assert all(run_collective(net, n, prog).values)
+
+
+def test_alltoallv_zero_pairs_skipped():
+    n = 4
+
+    def prog(mpi):
+        send = [0] * n
+        recv = [0] * n
+        if mpi.rank == 0:
+            send[1] = 4096
+        if mpi.rank == 1:
+            recv[0] = 4096
+        yield from mpi.alltoallv(send, recv)
+        return True
+
+    assert all(run_collective("elan", n, prog).values)
+
+
+def test_alltoallv_wrong_length_rejected():
+    def prog(mpi):
+        yield from mpi.alltoallv([0], [0])  # wrong length for n=4
+
+    m = Machine("elan", 4)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+def test_alltoallv_negative_rejected():
+    def prog(mpi):
+        yield from mpi.alltoallv([-1] * 2, [0] * 2)
+
+    m = Machine("elan", 2)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+def test_gather_wire_volume_matches_binomial():
+    """Inner tree nodes forward whole subtrees: bytes sent grows with
+    subtree size, total wire volume = (n-1) * block for the leaves' own
+    data plus forwarded blocks."""
+    n, block = 8, 1000
+
+    def prog(mpi):
+        yield from mpi.gather(block, root=0)
+        return mpi.ctx.bytes_sent
+
+    values = run_collective("elan", n, prog).values
+    # Every non-root byte eventually reaches the root: the sum of all
+    # sends is at least (n-1) blocks and at most n*log2(n) blocks.
+    total = sum(values)
+    assert (n - 1) * block <= total <= n * 3 * block * 4

@@ -1,0 +1,78 @@
+"""Unit tests for communicators: mapping, splits, collective tags."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import Communicator
+
+
+def test_world_rank_mapping_roundtrip():
+    c = Communicator([4, 7, 9])
+    assert c.size == 3
+    for g, w in enumerate([4, 7, 9]):
+        assert c.world_rank(g) == w
+        assert c.rank_of(w) == g
+
+
+def test_empty_rejected():
+    with pytest.raises(MpiError):
+        Communicator([])
+
+
+def test_duplicates_rejected():
+    with pytest.raises(MpiError):
+        Communicator([1, 1, 2])
+
+
+def test_nonmember_lookup_raises():
+    c = Communicator([0, 1])
+    with pytest.raises(MpiError):
+        c.rank_of(5)
+    with pytest.raises(MpiError):
+        c.world_rank(2)
+    assert c.contains(1)
+    assert not c.contains(5)
+
+
+def test_collective_tags_consistent_across_members():
+    c = Communicator([0, 1, 2, 3])
+    # Both members' third collective gets the same tag.
+    tags_rank0 = [c.next_collective_tag(0) for _ in range(3)]
+    tags_rank2 = [c.next_collective_tag(2) for _ in range(3)]
+    assert tags_rank0 == tags_rank2
+
+
+def test_collective_tags_differ_between_named_comms():
+    a = Communicator([0, 1], name="a")
+    b = Communicator([0, 1], name="b")
+    assert a.next_collective_tag(0) != b.next_collective_tag(0)
+
+
+def test_same_identity_means_same_tag_space():
+    """Per-rank instances of one logical communicator must agree."""
+    a = Communicator([0, 2, 5], name="rows")
+    b = Communicator([0, 2, 5], name="rows")
+    assert a.context_id == b.context_id
+    assert a.next_collective_tag(1) == b.next_collective_tag(1)
+
+
+def test_collective_tags_above_application_space():
+    from repro.mpi.communicator import COLLECTIVE_TAG_BASE
+
+    c = Communicator([0, 1])
+    assert c.next_collective_tag(0) >= COLLECTIVE_TAG_BASE
+
+
+def test_split_by_color():
+    c = Communicator(list(range(6)))
+    colors = {w: w % 2 for w in range(6)}
+    subs = c.split(colors)
+    assert sorted(subs) == [0, 1]
+    assert subs[0].world_ranks == [0, 2, 4]
+    assert subs[1].world_ranks == [1, 3, 5]
+
+
+def test_split_missing_color_rejected():
+    c = Communicator([0, 1, 2])
+    with pytest.raises(MpiError):
+        c.split({0: 0, 1: 0})

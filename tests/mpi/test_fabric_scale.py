@@ -1,0 +1,63 @@
+"""Machines on multi-stage fabrics (the scale what-if path)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric import TwoLevelFabric
+from repro.mpi import Machine
+
+
+def exchange(mpi):
+    peer = (mpi.rank + mpi.size // 2) % mpi.size
+    status = yield from mpi.sendrecv(
+        dest=peer, send_size=4096, source=peer, recv_size=4096
+    )
+    return status.size
+
+
+@pytest.mark.parametrize("net", ["ib", "elan"])
+def test_two_level_machine_runs(net):
+    m = Machine(net, 8, ppn=1, fabric_radix=4)
+    assert isinstance(m.fabric, TwoLevelFabric)
+    result = m.run(exchange)
+    assert all(v == 4096 for v in result.values)
+
+
+def test_cross_leaf_slower_than_same_leaf():
+    """Extra hops cost latency: cross-leaf pairs pay more."""
+
+    def pingpong_between(a, b):
+        def prog(mpi):
+            if mpi.rank not in (a, b):
+                return None
+            peer = b if mpi.rank == a else a
+            t0 = mpi.now
+            for _ in range(20):
+                if mpi.rank == a:
+                    yield from mpi.send(dest=peer, size=0)
+                    yield from mpi.recv(source=peer, size=0)
+                else:
+                    yield from mpi.recv(source=peer, size=0)
+                    yield from mpi.send(dest=peer, size=0)
+            return mpi.now - t0 if mpi.rank == a else None
+
+        return prog
+
+    # radix 4 -> 2 nodes per leaf: (0,1) same leaf, (0,2) cross leaf.
+    m_same = Machine("elan", 8, fabric_radix=4, seed=1)
+    t_same = m_same.run(pingpong_between(0, 1)).values[0]
+    m_cross = Machine("elan", 8, fabric_radix=4, seed=1)
+    t_cross = m_cross.run(pingpong_between(0, 2)).values[0]
+    assert t_cross > t_same
+
+
+def test_bad_radix_rejected():
+    with pytest.raises(ConfigurationError):
+        Machine("ib", 8, fabric_radix=3)
+
+
+def test_crossbar_default_when_no_radix():
+    from repro.fabric import CrossbarFabric
+
+    m = Machine("ib", 4)
+    assert type(m.fabric) is CrossbarFabric

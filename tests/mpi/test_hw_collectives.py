@@ -1,0 +1,123 @@
+"""QsNetII hardware collectives (switch-assisted barrier/broadcast).
+
+An opt-in extension: the paper's comparison runs both stacks' collectives
+over point-to-point messages, but the Elan hardware offers a switch tree;
+these tests cover correctness and the expected speedups.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.mpi import Communicator, Machine
+from repro.networks.params import ELAN_4
+
+
+def hw_machine(nodes, ppn=1, seed=0):
+    params = replace(ELAN_4, hw_collectives=True)
+    return Machine("elan", nodes, ppn=ppn, seed=seed, elan_params=params)
+
+
+def test_flag_defaults_off():
+    m = Machine("elan", 2)
+    assert not m.impl.hw_collectives
+    assert hw_machine(2).impl.hw_collectives
+
+
+def barrier_prog(reps=10):
+    def prog(mpi):
+        t0 = mpi.now
+        for _ in range(reps):
+            yield from mpi.barrier()
+        return (mpi.now - t0) / reps
+
+    return prog
+
+
+@pytest.mark.parametrize("nodes", [2, 4, 8, 16])
+def test_hw_barrier_completes_and_synchronizes(nodes):
+    def prog(mpi):
+        yield from mpi.compute(float(mpi.rank * 20))
+        yield from mpi.barrier()
+        return mpi.now
+
+    m = hw_machine(nodes)
+    exits = m.run(prog).values
+    assert min(exits) >= (nodes - 1) * 20
+
+
+def test_hw_barrier_latency_nearly_flat_in_nodes():
+    """The switch tree combines in O(1); software disseminates in O(log n)."""
+    t = {}
+    for nodes in (4, 32):
+        m = hw_machine(nodes)
+        t[nodes] = max(m.run(barrier_prog()).values)
+    assert t[32] < t[4] * 1.5
+
+
+def test_hw_barrier_beats_software_barrier():
+    sw = Machine("elan", 16)
+    hw = hw_machine(16)
+    t_sw = max(sw.run(barrier_prog()).values)
+    t_hw = max(hw.run(barrier_prog()).values)
+    assert t_hw < t_sw
+
+
+def test_hw_bcast_delivers_to_all():
+    def prog(mpi):
+        yield from mpi.bcast(65536, root=2)
+        return True
+
+    m = hw_machine(8)
+    assert all(m.run(prog).values)
+
+
+def test_hw_bcast_beats_software_for_wide_groups():
+    def prog(mpi):
+        t0 = mpi.now
+        for _ in range(5):
+            yield from mpi.bcast(32768, root=0)
+        return (mpi.now - t0) / 5
+
+    t_sw = max(Machine("elan", 16).run(prog).values)
+    t_hw = max(hw_machine(16).run(prog).values)
+    assert t_hw < t_sw
+
+
+def test_hw_collectives_on_subcommunicator():
+    def prog(mpi):
+        evens = Communicator([0, 2, 4, 6], name="evens")
+        odds = Communicator([1, 3, 5, 7], name="odds")
+        mine = evens if mpi.rank % 2 == 0 else odds
+        yield from mpi.barrier(comm=mine)
+        yield from mpi.bcast(1024, root=0, comm=mine)
+        yield from mpi.barrier(comm=mine)
+        return True
+
+    m = hw_machine(8)
+    assert all(m.run(prog).values)
+
+
+def test_repeated_hw_collectives_sequence():
+    def prog(mpi):
+        for _ in range(4):
+            yield from mpi.barrier()
+            yield from mpi.bcast(4096, root=1)
+        return True
+
+    m = hw_machine(4)
+    assert all(m.run(prog).values)
+
+
+def test_mixed_hw_and_p2p_traffic():
+    def prog(mpi):
+        peer = (mpi.rank + 1) % mpi.size
+        src = (mpi.rank - 1) % mpi.size
+        rreq = yield from mpi.irecv(source=src, tag=5, size=2048)
+        sreq = yield from mpi.isend(dest=peer, size=2048, tag=5)
+        yield from mpi.barrier()
+        yield from mpi.waitall([sreq, rreq])
+        return True
+
+    m = hw_machine(4)
+    assert all(m.run(prog).values)

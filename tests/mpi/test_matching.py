@@ -1,0 +1,112 @@
+"""Unit tests for MPI envelope matching semantics."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi.matching import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Envelope,
+    MatchQueue,
+    envelopes_match,
+    validate_rank,
+    validate_tag,
+)
+
+
+def test_exact_match():
+    assert envelopes_match(Envelope(3, 7), Envelope(3, 7))
+
+
+def test_source_mismatch():
+    assert not envelopes_match(Envelope(3, 7), Envelope(4, 7))
+
+
+def test_tag_mismatch():
+    assert not envelopes_match(Envelope(3, 7), Envelope(3, 8))
+
+
+def test_any_source_wildcard():
+    assert envelopes_match(Envelope(ANY_SOURCE, 7), Envelope(99, 7))
+
+
+def test_any_tag_wildcard():
+    assert envelopes_match(Envelope(3, ANY_TAG), Envelope(3, 1234))
+
+
+def test_double_wildcard():
+    assert envelopes_match(Envelope(ANY_SOURCE, ANY_TAG), Envelope(0, 0))
+
+
+def test_incoming_wildcards_rejected():
+    with pytest.raises(MpiError):
+        envelopes_match(Envelope(0, 0), Envelope(ANY_SOURCE, 3))
+    with pytest.raises(MpiError):
+        envelopes_match(Envelope(0, 0), Envelope(3, ANY_TAG))
+
+
+def test_envelope_validation():
+    with pytest.raises(MpiError):
+        Envelope(-2, 0)
+    with pytest.raises(MpiError):
+        Envelope(0, -2)
+
+
+def test_queue_fifo_on_equal_envelopes():
+    q = MatchQueue()
+    q.append(Envelope(0, 0), "first")
+    q.append(Envelope(0, 0), "second")
+    item, _ = q.find_for_incoming(Envelope(0, 0))
+    assert item == "first"
+    item, _ = q.find_for_incoming(Envelope(0, 0))
+    assert item == "second"
+    item, _ = q.find_for_incoming(Envelope(0, 0))
+    assert item is None
+
+
+def test_queue_skips_non_matching():
+    q = MatchQueue()
+    q.append(Envelope(1, 1), "a")
+    q.append(Envelope(2, 2), "b")
+    item, searched = q.find_for_incoming(Envelope(2, 2))
+    assert item == "b"
+    assert searched == 2
+    assert len(q) == 1
+
+
+def test_find_for_posting_earliest_wins():
+    q = MatchQueue()
+    q.append(Envelope(1, 5), "early")
+    q.append(Envelope(1, 5), "late")
+    item, _ = q.find_for_posting(Envelope(ANY_SOURCE, 5))
+    assert item == "early"
+
+
+def test_search_counts_accumulate():
+    q = MatchQueue()
+    for i in range(5):
+        q.append(Envelope(i, 0), i)
+    _, searched = q.find_for_incoming(Envelope(4, 0))
+    assert searched == 5
+    assert q.total_searched == 5
+    assert q.max_depth == 5
+
+
+def test_failed_search_counts_full_queue():
+    q = MatchQueue()
+    q.append(Envelope(0, 0), "x")
+    item, searched = q.find_for_incoming(Envelope(1, 1))
+    assert item is None
+    assert searched == 1
+    assert len(q) == 1
+
+
+def test_validate_rank_and_tag():
+    validate_rank(0, 4)
+    with pytest.raises(MpiError):
+        validate_rank(4, 4)
+    with pytest.raises(MpiError):
+        validate_rank(-1, 4)
+    validate_tag(0)
+    with pytest.raises(MpiError):
+        validate_tag(-1)

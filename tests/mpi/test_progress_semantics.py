@@ -1,0 +1,201 @@
+"""Tests for the paper's Section 3 architectural distinctions.
+
+These are the heart of the reproduction: independent progress (3.3.3),
+overlap (3.3.5), offload/host overhead (3.3.4) and connectionless
+resource scaling (3.3.1) must *differ between the models* in the
+direction the paper describes.
+"""
+
+import pytest
+
+from repro.mpi import Machine
+from repro.units import KiB, MiB
+
+
+def _rendezvous_size_ib():
+    """A size using rendezvous on IB and the NIC handshake on Elan."""
+    return 256 * KiB
+
+
+def make_progress_prog(compute_us, size):
+    """Rank 0 sends early; rank 1 posts its receive, computes, then waits.
+
+    Returns rank 1's time spent inside the final wait.  With independent
+    progress the transfer completes *during* the compute, so the wait is
+    nearly free; without it, the rendezvous handshake only starts when the
+    wait begins.
+    """
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=size, tag=1)
+            return None
+        req = yield from mpi.irecv(source=0, tag=1, size=size)
+        yield from mpi.compute(compute_us)
+        t0 = mpi.now
+        yield from mpi.wait(req)
+        return mpi.now - t0
+
+    return prog
+
+
+def test_elan_makes_progress_during_compute():
+    size = _rendezvous_size_ib()
+    m = Machine("elan", 2, ppn=1)
+    r = m.run(make_progress_prog(5000.0, size))
+    wait_time = r.values[1]
+    # Transfer (~300us) finished inside the 5ms compute window.
+    assert wait_time < 50.0
+
+
+def test_mvapich_defers_rendezvous_to_library_calls():
+    size = _rendezvous_size_ib()
+    m = Machine("ib", 2, ppn=1)
+    r = m.run(make_progress_prog(5000.0, size))
+    wait_time = r.values[1]
+    # The RTS sat in the inbox for the whole compute; the wait pays the
+    # entire rendezvous handshake plus the data transfer (> 250us).
+    assert wait_time > 200.0
+
+
+def test_progress_difference_is_the_transfer_time():
+    size = _rendezvous_size_ib()
+    waits = {}
+    for net in ("ib", "elan"):
+        m = Machine(net, 2, ppn=1)
+        waits[net] = m.run(make_progress_prog(5000.0, size)).values[1]
+    assert waits["ib"] > 10 * waits["elan"]
+
+
+def make_overlap_prog(size, compute_us):
+    """Both ranks exchange large messages non-blockingly around compute.
+
+    Returns per-rank total time; with overlap, total ~ max(compute, comm);
+    without, total ~ compute + comm.
+    """
+
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        t0 = mpi.now
+        rr = yield from mpi.irecv(source=peer, tag=2, size=size)
+        sr = yield from mpi.isend(dest=peer, size=size, tag=2)
+        yield from mpi.compute(compute_us)
+        yield from mpi.waitall([sr, rr])
+        return mpi.now - t0
+
+    return prog
+
+
+def test_elan_overlaps_communication_with_computation():
+    size = 1 * MiB  # ~1.1ms of transfer
+    compute = 4000.0
+    m = Machine("elan", 2, ppn=1)
+    r = m.run(make_overlap_prog(size, compute))
+    total = max(r.values)
+    # Nearly full overlap: total close to the compute time alone.
+    assert total < compute * 1.2
+
+
+def test_mvapich_serializes_large_transfers_after_compute():
+    size = 1 * MiB
+    compute = 4000.0
+    m = Machine("ib", 2, ppn=1)
+    r = m.run(make_overlap_prog(size, compute))
+    total = max(r.values)
+    # The rendezvous could not start until waitall: compute + transfer.
+    assert total > compute + 800.0
+
+
+def test_overlap_gap_between_networks():
+    size, compute = 1 * MiB, 4000.0
+    totals = {}
+    for net in ("ib", "elan"):
+        m = Machine(net, 2, ppn=1)
+        totals[net] = max(m.run(make_overlap_prog(size, compute)).values)
+    assert totals["ib"] - totals["elan"] > 500.0
+
+
+def test_host_mpi_overhead_higher_on_ib():
+    """Offload: the host CPUs do far more *per-message* MPI work under
+    MVAPICH.  Measured marginally (500 vs 50 exchanges) so the one-time
+    init cost — which is higher for Quadrics' capability setup at this
+    tiny scale — cancels out."""
+
+    def make_prog(n):
+        def prog(mpi):
+            peer = 1 - mpi.rank
+            for _ in range(n):
+                if mpi.rank == 0:
+                    yield from mpi.send(dest=peer, size=512)
+                    yield from mpi.recv(source=peer, size=512)
+                else:
+                    yield from mpi.recv(source=peer, size=512)
+                    yield from mpi.send(dest=peer, size=512)
+            return None
+
+        return prog
+
+    marginal = {}
+    for net in ("ib", "elan"):
+        totals = []
+        for n in (50, 500):
+            m = Machine(net, 2, ppn=1)
+            m.run(make_prog(n))
+            totals.append(sum(ctx.cpu.mpi_overhead_time for ctx in m.contexts))
+        marginal[net] = totals[1] - totals[0]
+    assert marginal["ib"] > 3 * marginal["elan"]
+
+
+def test_connectionless_vs_connection_memory_scaling():
+    """Section 3.3.1: IB per-process buffer memory grows with job size."""
+    ib_small = Machine("ib", 4, ppn=1).memory_footprint_per_process()
+    ib_large = Machine("ib", 32, ppn=1).memory_footprint_per_process()
+    elan_small = Machine("elan", 4, ppn=1).memory_footprint_per_process()
+    elan_large = Machine("elan", 32, ppn=1).memory_footprint_per_process()
+    assert ib_large > ib_small * 5
+    assert elan_large == elan_small
+
+
+def test_init_cost_scales_with_peers_only_on_ib():
+    """QP setup at MPI_Init is O(nprocs) for MVAPICH, O(1) for Quadrics."""
+
+    def prog(mpi):
+        yield from mpi.compute(0.0)
+        return None
+
+    init_times = {}
+    for net in ("ib", "elan"):
+        per_size = []
+        for nodes in (4, 16):
+            m = Machine(net, nodes, ppn=1)
+            m.run(prog)  # init happens inside run
+            # rank 0 span start includes init + barrier; use qp accounting
+            per_size.append(
+                sum(ctx.cpu.mpi_overhead_time for ctx in m.contexts[:1])
+            )
+        init_times[net] = per_size
+    assert init_times["ib"][1] > init_times["ib"][0] * 2
+    assert init_times["elan"][1] < init_times["elan"][0] * 2
+
+
+def test_pollution_slows_compute_only_on_ib():
+    """Host copies dirty the cache; the next compute region pays."""
+
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        # Move lots of eager traffic through the host (1 KB x 100).
+        for _ in range(100):
+            if mpi.rank == 0:
+                yield from mpi.send(dest=peer, size=1024)
+            else:
+                yield from mpi.recv(source=peer, size=1024)
+        t0 = mpi.now
+        yield from mpi.compute(1000.0)
+        return mpi.now - t0
+
+    times = {}
+    for net in ("ib", "elan"):
+        m = Machine(net, 2, ppn=1)
+        times[net] = m.run(prog).values[1]
+    assert times["ib"] > times["elan"]
+    assert times["elan"] == pytest.approx(1000.0, abs=1.0)

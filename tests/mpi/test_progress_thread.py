@@ -1,0 +1,119 @@
+"""The independent-progress ablation: MVAPICH + progress thread."""
+
+import pytest
+
+from repro.mpi import Machine
+from repro.units import KiB, MiB
+
+
+def make_progress_prog(compute_us, size):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=size, tag=1)
+            return None
+        req = yield from mpi.irecv(source=0, tag=1, size=size)
+        yield from mpi.compute(compute_us)
+        t0 = mpi.now
+        yield from mpi.wait(req)
+        return mpi.now - t0
+
+    return prog
+
+
+def test_progress_thread_flag_sets_property():
+    m = Machine("ib", 2, ib_progress_thread=True)
+    assert m.impl.independent_progress
+    m2 = Machine("ib", 2)
+    assert not m2.impl.independent_progress
+
+
+def test_progress_thread_completes_rendezvous_during_compute():
+    size = 256 * KiB
+    m = Machine("ib", 2, ib_progress_thread=True)
+    wait_time = m.run(make_progress_prog(5000.0, size)).values[1]
+    assert wait_time < 100.0  # vs >200us without the thread
+
+
+def test_progress_thread_costs_host_cycles():
+    """The thread buys progress with CPU interference, unlike offload."""
+
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        for _ in range(100):
+            if mpi.rank == 0:
+                yield from mpi.send(dest=peer, size=512)
+            else:
+                yield from mpi.recv(source=peer, size=512)
+        return None
+
+    overheads = {}
+    for pt in (False, True):
+        m = Machine("ib", 2, ib_progress_thread=pt)
+        m.run(prog)
+        overheads[pt] = sum(c.cpu.mpi_overhead_time for c in m.contexts)
+    assert overheads[True] > overheads[False]
+
+
+@pytest.mark.parametrize("size", [0, 512, 2048, 64 * KiB, 1 * MiB])
+def test_semantics_unchanged_with_thread(size):
+    """Same messages arrive with the same status, thread or not."""
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=size, tag=4)
+            return None
+        status = yield from mpi.recv(source=0, tag=4, size=size)
+        return (status.source, status.tag, status.size)
+
+    for pt in (False, True):
+        m = Machine("ib", 2, ib_progress_thread=pt)
+        assert m.run(prog).values[1] == (0, 4, size)
+
+
+def test_unexpected_messages_with_thread():
+    def prog(mpi):
+        if mpi.rank == 0:
+            for tag in range(3):
+                yield from mpi.send(dest=1, size=256, tag=tag)
+            return None
+        yield from mpi.compute(500.0)  # arrive unexpected, thread parks them
+        sizes = []
+        for tag in (2, 0, 1):  # receive out of order by tag
+            status = yield from mpi.recv(source=0, tag=tag, size=256)
+            sizes.append(status.tag)
+        return sizes
+
+    m = Machine("ib", 2, ib_progress_thread=True)
+    assert m.run(prog).values[1] == [2, 0, 1]
+
+
+def test_collectives_work_with_thread():
+    def prog(mpi):
+        yield from mpi.allreduce(4096)
+        yield from mpi.barrier()
+        return True
+
+    m = Machine("ib", 4, ib_progress_thread=True)
+    assert all(m.run(prog).values)
+
+
+def test_thread_improves_overlap_but_not_to_elan_level():
+    def overlap_prog(mpi):
+        peer = 1 - mpi.rank
+        t0 = mpi.now
+        rr = yield from mpi.irecv(source=peer, tag=2, size=1 * MiB)
+        sr = yield from mpi.isend(dest=peer, size=1 * MiB, tag=2)
+        yield from mpi.compute(4000.0)
+        yield from mpi.waitall([sr, rr])
+        return mpi.now - t0
+
+    totals = {}
+    for label, kwargs in (
+        ("ib", {}),
+        ("ib+thread", {"ib_progress_thread": True}),
+    ):
+        m = Machine("ib", 2, **kwargs)
+        totals[label] = max(m.run(overlap_prog).values)
+    m = Machine("elan", 2)
+    totals["elan"] = max(m.run(overlap_prog).values)
+    assert totals["elan"] < totals["ib+thread"] < totals["ib"]

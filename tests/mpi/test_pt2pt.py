@@ -1,0 +1,238 @@
+"""Point-to-point semantics on both implementations.
+
+Parameterized over the two networks: MPI semantics (ordering, wildcards,
+unexpected messages, truncation, sendrecv) must be identical; only the
+timing differs.
+"""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import ANY_SOURCE, ANY_TAG, Machine
+
+NETS = ("ib", "elan")
+
+
+def run2(net, prog, **kw):
+    m = Machine(net, 2, ppn=1, **kw)
+    return m.run(prog)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_blocking_send_recv(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=100, tag=3)
+            return None
+        status = yield from mpi.recv(source=0, tag=3, size=100)
+        return (status.source, status.tag, status.size)
+
+    r = run2(net, prog)
+    assert r.values[1] == (0, 3, 100)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_recv_before_send(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.compute(100.0)
+            yield from mpi.send(dest=1, size=64)
+            return None
+        status = yield from mpi.recv(source=0, size=64)
+        return status.size
+
+    r = run2(net, prog)
+    assert r.values[1] == 64
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_unexpected_message_then_recv(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=64, tag=5)
+            return None
+        yield from mpi.compute(200.0)  # let the message arrive unexpected
+        status = yield from mpi.recv(source=0, tag=5, size=64)
+        return status.size
+
+    r = run2(net, prog)
+    assert r.values[1] == 64
+
+
+@pytest.mark.parametrize("net", NETS)
+@pytest.mark.parametrize("size", [0, 1, 1024, 2048, 65536, 1 << 20])
+def test_sizes_across_protocol_boundaries(net, size):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=size)
+            return None
+        status = yield from mpi.recv(source=0, size=size)
+        return status.size
+
+    r = run2(net, prog)
+    assert r.values[1] == size
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_message_ordering_same_envelope(net):
+    """Non-overtaking: receives complete in send order."""
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            for sz in (10, 20, 30):
+                yield from mpi.send(dest=1, size=sz, tag=0)
+            return None
+        out = []
+        for _ in range(3):
+            status = yield from mpi.recv(source=0, tag=0, size=1024)
+            out.append(status.size)
+        return out
+
+    r = run2(net, prog)
+    assert r.values[1] == [10, 20, 30]
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_tags_demultiplex(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=11, tag=1)
+            yield from mpi.send(dest=1, size=22, tag=2)
+            return None
+        # Receive tag 2 first even though it was sent second.
+        s2 = yield from mpi.recv(source=0, tag=2, size=1024)
+        s1 = yield from mpi.recv(source=0, tag=1, size=1024)
+        return (s1.size, s2.size)
+
+    r = run2(net, prog)
+    assert r.values[1] == (11, 22)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_wildcard_source_and_tag(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=77, tag=9)
+            return None
+        status = yield from mpi.recv(source=ANY_SOURCE, tag=ANY_TAG, size=1024)
+        return (status.source, status.tag, status.size)
+
+    r = run2(net, prog)
+    assert r.values[1] == (0, 9, 77)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_isend_irecv_waitall(net):
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        rr = yield from mpi.irecv(source=peer, tag=0, size=4096)
+        sr = yield from mpi.isend(dest=peer, size=4096, tag=0)
+        yield from mpi.waitall([sr, rr])
+        return rr.status.size
+
+    r = run2(net, prog)
+    assert r.values == [4096, 4096]
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_sendrecv_exchange(net):
+    def prog(mpi):
+        peer = 1 - mpi.rank
+        status = yield from mpi.sendrecv(
+            dest=peer, send_size=128, source=peer, recv_size=128
+        )
+        return status.size
+
+    r = run2(net, prog)
+    assert r.values == [128, 128]
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_truncation_raises(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=1000)
+            return None
+        yield from mpi.recv(source=0, size=10)
+
+    m = Machine(net, 2, ppn=1)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_bad_destination_raises(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=5, size=10)
+        return None
+
+    m = Machine(net, 2, ppn=1)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_negative_tag_send_rejected(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=10, tag=-3)
+        else:
+            yield from mpi.recv(source=0, size=10)
+
+    m = Machine(net, 2, ppn=1)
+    with pytest.raises(Exception):
+        m.run(prog)
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_test_polls_to_completion(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=256)
+            return None
+        req = yield from mpi.irecv(source=0, size=256)
+        polls = 0
+        while True:
+            done = yield from mpi.test(req)
+            polls += 1
+            if done:
+                break
+            yield from mpi.compute(1.0)
+        return polls
+
+    r = run2(net, prog)
+    assert r.values[1] >= 1
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_self_send_same_node_loopback(net):
+    """2 PPN: ranks 0 and 1 share a node; loopback must work."""
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=512)
+            return None
+        status = yield from mpi.recv(source=0, size=512)
+        return status.size
+
+    m = Machine(net, 1, ppn=2)
+    r = m.run(prog)
+    assert r.values[1] == 512
+
+
+@pytest.mark.parametrize("net", NETS)
+def test_many_to_one_fan_in(net):
+    def prog(mpi):
+        if mpi.rank == 0:
+            sizes = []
+            for _ in range(mpi.size - 1):
+                status = yield from mpi.recv(source=ANY_SOURCE, tag=0, size=4096)
+                sizes.append(status.size)
+            return sorted(sizes)
+        yield from mpi.send(dest=0, size=100 * mpi.rank, tag=0)
+        return None
+
+    m = Machine(net, 4, ppn=1)
+    r = m.run(prog)
+    assert r.values[0] == [100, 200, 300]

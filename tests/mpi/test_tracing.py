@@ -1,0 +1,61 @@
+"""Protocol tracing through a traced Machine."""
+
+from repro.mpi import Machine
+from repro.sim import Tracer
+
+
+def exchange_prog(size):
+    def prog(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, size=size, tag=9)
+        else:
+            yield from mpi.recv(source=0, tag=9, size=size)
+        return None
+
+    return prog
+
+
+def test_ib_eager_send_traced():
+    tracer = Tracer(categories={"ib.send"})
+    m = Machine("ib", 2, trace=tracer)
+    m.run(exchange_prog(256))
+    sends = tracer.select("ib.send")
+    assert any("eager" in msg and "tag=9" in msg for _, _, msg in sends)
+
+
+def test_ib_rendezvous_protocol_sequence_traced():
+    tracer = Tracer(categories={"ib.send", "ib.handle"})
+    m = Machine("ib", 2, trace=tracer)
+    m.run(exchange_prog(64 * 1024))
+    msgs = [msg for _, _, msg in tracer.records]
+    assert any("rndv" in m_ for m_ in msgs)
+    # The full handshake appears in causal order: rts -> cts -> rdata.
+    kinds = [m_.split()[1] for m_ in msgs if m_.startswith("r") and " rts " not in m_]
+    joined = " ".join(msgs)
+    for kind in ("rts", "cts", "rdata"):
+        assert kind in joined
+    assert joined.index("rts") < joined.index("cts") < joined.index("rdata")
+
+
+def test_elan_tx_and_match_traced():
+    tracer = Tracer(categories={"elan.tx", "elan.match"})
+    m = Machine("elan", 2, trace=tracer)
+    m.run(exchange_prog(512))
+    tx = tracer.select("elan.tx")
+    match = tracer.select("elan.match")
+    assert any("tag=9" in msg for _, _, msg in tx)
+    assert any("matched" in msg or "parked" in msg for _, _, msg in match)
+
+
+def test_untraced_machine_records_nothing():
+    m = Machine("ib", 2)
+    m.run(exchange_prog(256))
+    assert len(m.sim.trace) == 0
+
+
+def test_trace_times_are_monotone():
+    tracer = Tracer()
+    m = Machine("elan", 2, trace=tracer)
+    m.run(exchange_prog(2048))
+    times = [t for t, _, _ in tracer.records]
+    assert times == sorted(times)

@@ -1,0 +1,127 @@
+"""Unit tests for the InfiniBand registration cache, including thrash."""
+
+import pytest
+
+from repro.errors import RegistrationError
+from repro.hardware import Node
+from repro.networks.ib.memreg import RegistrationCache
+from repro.networks.params import IBParams
+from repro.sim import Simulator
+from repro.units import MiB
+
+
+def make(params=None):
+    sim = Simulator()
+    node = Node(sim, 0)
+    cache = RegistrationCache(sim, params or IBParams())
+    return sim, node.cpus[0], cache
+
+
+def run_ensure(sim, cpu, cache, key, size):
+    def proc():
+        yield from cache.ensure(cpu, key, size)
+
+    t0 = sim.now
+    sim.spawn(proc())
+    sim.run()
+    return sim.now - t0
+
+
+def test_first_use_is_a_miss_then_hits():
+    sim, cpu, cache = make()
+    t_miss = run_ensure(sim, cpu, cache, "buf", 64 * 1024)
+    t_hit = run_ensure(sim, cpu, cache, "buf", 64 * 1024)
+    assert cache.stats() == (1, 1, 0)
+    assert t_miss > t_hit
+    assert t_hit == pytest.approx(IBParams().reg_cache_hit)
+
+
+def test_miss_cost_scales_with_pages():
+    sim, cpu, cache = make()
+    t_small = run_ensure(sim, cpu, cache, "a", 4096)
+    t_large = run_ensure(sim, cpu, cache, "b", 4096 * 256)
+    assert t_large > t_small
+    p = IBParams()
+    assert t_small == pytest.approx(p.reg_base + p.reg_per_page)
+    assert t_large == pytest.approx(p.reg_base + 256 * p.reg_per_page)
+
+
+def test_lru_eviction_when_capacity_exceeded():
+    params = IBParams()
+    sim, cpu, cache = make(params)
+    # Fill the 6 MiB cache with three 2 MiB regions, then add a fourth.
+    for key in ("a", "b", "c"):
+        run_ensure(sim, cpu, cache, key, 2 * MiB)
+    assert cache.evictions == 0
+    run_ensure(sim, cpu, cache, "d", 2 * MiB)
+    assert cache.evictions == 1
+    # "a" was LRU: re-using it is now a miss; "b" is still cached.
+    run_ensure(sim, cpu, cache, "b", 2 * MiB)
+    assert cache.hits == 1
+    run_ensure(sim, cpu, cache, "a", 2 * MiB)
+    assert cache.misses == 5
+
+
+def test_pingpong_4mb_working_set_thrashes():
+    """Two 4 MB buffers cycling through a 6 MiB cache never hit."""
+    sim, cpu, cache = make()
+    for _ in range(4):
+        run_ensure(sim, cpu, cache, "send", 4 * MiB)
+        run_ensure(sim, cpu, cache, "recv", 4 * MiB)
+    assert cache.hits == 0
+    assert cache.misses == 8
+    assert cache.evictions >= 6
+
+
+def test_one_1mb_working_set_does_not_thrash():
+    sim, cpu, cache = make()
+    for _ in range(4):
+        run_ensure(sim, cpu, cache, "send", 1 * MiB)
+        run_ensure(sim, cpu, cache, "recv", 1 * MiB)
+    assert cache.misses == 2
+    assert cache.hits == 6
+    assert cache.evictions == 0
+
+
+def test_region_larger_than_cache_always_pays_full_cost():
+    sim, cpu, cache = make()
+    t1 = run_ensure(sim, cpu, cache, "huge", 16 * MiB)
+    t2 = run_ensure(sim, cpu, cache, "huge", 16 * MiB)
+    assert t1 == pytest.approx(t2)
+    assert cache.cached_bytes == 0
+    p = IBParams()
+    pages = 16 * MiB // p.page_bytes
+    expected = (
+        p.reg_base + pages * p.reg_per_page + p.dereg_base + pages * p.dereg_per_page
+    )
+    assert t1 == pytest.approx(expected)
+
+
+def test_growing_region_reregisters():
+    sim, cpu, cache = make()
+    run_ensure(sim, cpu, cache, "buf", 1 * MiB)
+    run_ensure(sim, cpu, cache, "buf", 2 * MiB)  # larger: must re-register
+    assert cache.misses == 2
+    # Smaller reuse afterwards hits (region covers it).
+    run_ensure(sim, cpu, cache, "buf", 1 * MiB)
+    assert cache.hits == 1
+
+
+def test_negative_size_rejected():
+    sim, cpu, cache = make()
+
+    def proc():
+        yield from cache.ensure(cpu, "x", -1)
+
+    sim.spawn(proc())
+    with pytest.raises(Exception):
+        sim.run()
+    with pytest.raises(RegistrationError):
+        # direct generator construction also validates
+        next(cache.ensure(cpu, "y", -5))
+
+
+def test_zero_size_treated_as_one_byte():
+    sim, cpu, cache = make()
+    run_ensure(sim, cpu, cache, "z", 0)
+    assert cache.cached_regions == 1

@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.results import DataSeries, ascii_plot
+
+
+def series(label="s", x=(1.0, 2.0, 4.0), y=(1.0, 2.0, 3.0)):
+    return DataSeries(label=label, x=list(x), y=list(y), x_name="n")
+
+
+def test_basic_plot_contains_markers_and_legend():
+    out = ascii_plot([series()])
+    assert "o s" in out
+    assert "o" in out.split("\n")[2]  # marker somewhere in the grid
+
+
+def test_two_series_distinct_markers():
+    out = ascii_plot([series("a"), series("b", y=(3.0, 2.0, 1.0))])
+    assert "o a" in out
+    assert "+ b" in out
+
+
+def test_title_rendered():
+    out = ascii_plot([series()], title="My Chart")
+    assert out.startswith("My Chart")
+
+
+def test_log_x_axis_label():
+    out = ascii_plot([series()], log_x=True)
+    assert "(log)" in out
+
+
+def test_log_axis_rejects_nonpositive_after_filter():
+    s = DataSeries(label="z", x=[0.0], y=[1.0])
+    with pytest.raises(ConfigurationError):
+        ascii_plot([s], log_x=True)  # the only point filtered away
+
+
+def test_zero_x_dropped_on_log_axis():
+    s = DataSeries(label="z", x=[0.0, 1.0, 2.0], y=[1.0, 2.0, 3.0])
+    out = ascii_plot([s], log_x=True)
+    assert "z" in out  # plot still renders from remaining points
+
+
+def test_flat_series_renders():
+    out = ascii_plot([series(y=(5.0, 5.0, 5.0))])
+    assert "o" in out
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ConfigurationError):
+        ascii_plot([])
+
+
+def test_tiny_plot_area_rejected():
+    with pytest.raises(ConfigurationError):
+        ascii_plot([series()], width=4)
+    with pytest.raises(ConfigurationError):
+        ascii_plot([series()], height=2)
+
+
+def test_monotone_series_plots_monotone_rows():
+    """Higher y values land on higher (smaller-index) rows."""
+    s = series(x=(1.0, 10.0), y=(0.0, 100.0))
+    out = ascii_plot([s], width=20, height=10)
+    rows = [i for i, line in enumerate(out.split("\n")) if "o" in line and "|" in line]
+    # First marker row (high y) is above the last (low y).
+    assert rows[0] < rows[-1]
+
+
+def test_deterministic():
+    a = ascii_plot([series()], log_x=True)
+    b = ascii_plot([series()], log_x=True)
+    assert a == b

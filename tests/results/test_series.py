@@ -1,0 +1,75 @@
+"""Unit tests for result containers and export."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.results import (
+    DataSeries,
+    RepStats,
+    mean_of,
+    series_to_csv,
+    series_to_dict,
+)
+
+
+def test_series_length_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        DataSeries(label="x", x=[1.0], y=[])
+
+
+def test_series_at_and_missing():
+    s = DataSeries(label="s", x=[1.0, 2.0], y=[10.0, 20.0])
+    assert s.at(2.0) == 20.0
+    with pytest.raises(KeyError):
+        s.at(3.0)
+    assert len(s) == 2
+
+
+def test_series_scaled():
+    s = DataSeries(label="s", x=[1.0], y=[10.0])
+    t = s.scaled(0.5, label="half")
+    assert t.y == [5.0]
+    assert t.label == "half"
+    assert s.y == [10.0]  # original untouched
+
+
+def test_repstats_mean_min_max():
+    st = RepStats()
+    for v in (10.0, 12.0, 11.0, 13.0):
+        st.add(v)
+    assert st.n == 4
+    assert st.mean == pytest.approx(11.5)
+    assert st.minimum == 10.0
+    assert st.maximum == 13.0
+    assert st.spread == pytest.approx(3.0 / 11.5)
+
+
+def test_repstats_empty_mean_rejected():
+    with pytest.raises(ConfigurationError):
+        _ = RepStats().mean
+
+
+def test_mean_of():
+    assert mean_of([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ConfigurationError):
+        mean_of([])
+
+
+def test_csv_export_long_format():
+    s1 = DataSeries(label="a", x=[1.0, 2.0], y=[3.0, 4.0], x_name="n", y_name="t")
+    s2 = DataSeries(label="b", x=[1.0], y=[9.0], x_name="n", y_name="t")
+    csv = series_to_csv([s1, s2])
+    lines = csv.strip().split("\n")
+    assert lines[0] == "series,n,t"
+    assert len(lines) == 4
+    assert lines[1].startswith("a,1.0,")
+
+
+def test_dict_export_json_roundtrip():
+    s = DataSeries(label="a", x=[1.0], y=[2.0])
+    d = series_to_dict([s])
+    restored = json.loads(json.dumps(d))
+    assert restored[0]["label"] == "a"
+    assert restored[0]["x"] == [1.0]

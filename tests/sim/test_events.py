@@ -1,0 +1,136 @@
+"""Unit tests for events: triggering, composition, failure delivery."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_multiple_waiters_all_resumed():
+    sim = Simulator()
+    ev = sim.event()
+    woken = []
+
+    def waiter(tag):
+        v = yield ev
+        woken.append((tag, v, sim.now))
+
+    for t in range(3):
+        sim.spawn(waiter(t))
+
+    def trigger():
+        yield sim.timeout(2.0)
+        ev.succeed("go")
+
+    sim.spawn(trigger())
+    sim.run()
+    assert woken == [(0, "go", 2.0), (1, "go", 2.0), (2, "go", 2.0)]
+
+
+def test_waiting_on_already_fired_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(7)
+    got = []
+
+    def late():
+        yield sim.timeout(3.0)
+        v = yield ev
+        got.append((v, sim.now))
+
+    sim.spawn(late())
+    sim.run()
+    assert got == [(7, 3.0)]
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    seen = []
+
+    def waiter():
+        try:
+            yield ev
+        except KeyError as exc:
+            seen.append(str(exc))
+
+    sim.spawn(waiter())
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.fail(KeyError("nope"))
+
+    sim.spawn(trigger())
+    sim.run()
+    assert seen == ["'nope'"]
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        evs = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+        vals = yield sim.all_of(evs)
+        out.append((sim.now, vals))
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [(3.0, ["c", "a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        vals = yield sim.all_of([])
+        out.append((sim.now, vals))
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [(0.0, [])]
+
+
+def test_any_of_returns_first_index_and_value():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        evs = [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")]
+        idx, val = yield sim.any_of(evs)
+        out.append((sim.now, idx, val))
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [(1.0, 1, "fast")]
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.any_of([])

@@ -1,0 +1,152 @@
+"""Kernel edge cases: composite-event failures, cancellation, accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FifoResource, Simulator, Store
+
+
+def test_all_of_fails_with_first_child_failure():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        bad = sim.event()
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(KeyError("boom"))
+
+        sim.spawn(failer())
+        try:
+            yield sim.all_of([sim.timeout(5.0), bad])
+        except KeyError:
+            caught.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_any_of_failure_propagates():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        bad = sim.event()
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(ValueError("first"))
+
+        sim.spawn(failer())
+        try:
+            yield sim.any_of([bad, sim.timeout(10.0)])
+        except ValueError:
+            caught.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert caught == [1.0]
+
+
+def test_any_of_ignores_later_children():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        idx, val = yield sim.any_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+        out.append((idx, val))
+        # let the second fire too; nothing should break
+        yield sim.timeout(5.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == [(0, "a")]
+
+
+def test_store_cancel_unknown_getter_rejected():
+    sim = Simulator()
+    store = Store(sim)
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        store.cancel_get(ev)
+
+
+def test_store_cancel_triggered_get_is_noop():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    ev = store.get()
+    assert ev.triggered
+    store.cancel_get(ev)  # no-op, no error
+
+
+def test_resource_utilization_with_gaps():
+    sim = Simulator()
+    res = FifoResource(sim)
+
+    def proc():
+        yield from res.using(2.0)
+        yield sim.timeout(6.0)
+        yield from res.using(2.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert res.utilization() == pytest.approx(0.4)
+    assert res.busy_time == pytest.approx(4.0)
+
+
+def test_utilization_explicit_elapsed():
+    sim = Simulator()
+    res = FifoResource(sim)
+
+    def proc():
+        yield from res.using(5.0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert res.utilization(elapsed=10.0) == pytest.approx(0.5)
+
+
+def test_daemon_processes_do_not_block_run_all():
+    sim = Simulator()
+    store = Store(sim)
+
+    def daemon():
+        while True:
+            yield store.get()
+
+    def worker():
+        yield sim.timeout(3.0)
+        store.put("x")
+        yield sim.timeout(1.0)
+
+    sim.spawn(daemon(), daemon=True)
+    sim.spawn(worker())
+    end = sim.run_all()  # must not raise DeadlockError
+    assert end == 4.0
+
+
+def test_timeout_value_default_none():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        v = yield sim.timeout(1.0)
+        got.append(v)
+
+    sim.spawn(proc())
+    sim.run()
+    assert got == [None]
+
+
+def test_event_ok_property():
+    sim = Simulator()
+    ev = sim.event()
+    assert not ev.ok
+    ev.succeed(3)
+    assert ev.ok
+    bad = sim.event()
+    bad.fail(RuntimeError("x"))
+    assert bad.triggered and not bad.ok

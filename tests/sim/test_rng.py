@@ -1,0 +1,71 @@
+"""Unit tests for named RNG streams."""
+
+import pytest
+
+from repro.sim import RngStreams
+
+
+def test_same_seed_same_stream_values():
+    a = RngStreams(42).stream("x").random(5)
+    b = RngStreams(42).stream("x").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_different_values():
+    r = RngStreams(42)
+    assert r.stream("a").random() != r.stream("b").random()
+
+
+def test_different_seeds_different_values():
+    a = RngStreams(1).stream("x").random()
+    b = RngStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    r = RngStreams(0)
+    assert r.stream("s") is r.stream("s")
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        RngStreams(-1)
+
+
+def test_names_listing():
+    r = RngStreams(0)
+    r.stream("beta")
+    r.stream("alpha")
+    assert r.names() == ["alpha", "beta"]
+
+
+def test_jitter_zero_cv_exact():
+    r = RngStreams(0)
+    assert r.jitter("j", 100.0, 0.0) == 100.0
+    assert r.jitter("j", 0.0, 0.5) == 0.0
+
+
+def test_jitter_mean_approximately_right():
+    r = RngStreams(7)
+    draws = [r.jitter("j", 100.0, 0.1) for _ in range(2000)]
+    mean = sum(draws) / len(draws)
+    assert abs(mean - 100.0) < 2.0
+    assert all(d > 0 for d in draws)
+
+
+def test_jitter_validation():
+    r = RngStreams(0)
+    with pytest.raises(ValueError):
+        r.jitter("j", -1.0, 0.1)
+    with pytest.raises(ValueError):
+        r.jitter("j", 1.0, -0.1)
+
+
+def test_adding_stream_does_not_perturb_existing():
+    """Stream independence: the calibration-stability property."""
+    r1 = RngStreams(5)
+    first = r1.stream("app").random()
+    r2 = RngStreams(5)
+    r2.stream("other")  # created first this time
+    second = r2.stream("app").random()
+    assert first == second

@@ -1,0 +1,41 @@
+"""Unit tests for the tracer."""
+
+from repro.sim import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.log(1.0, "x", "msg")
+    assert len(t) == 0
+
+
+def test_records_in_order():
+    t = Tracer()
+    t.log(1.0, "a", "first")
+    t.log(2.0, "b", "second")
+    assert t.records == [(1.0, "a", "first"), (2.0, "b", "second")]
+
+
+def test_category_filter():
+    t = Tracer(categories={"rndv"})
+    t.log(1.0, "rndv", "kept")
+    t.log(2.0, "eager", "dropped")
+    assert len(t) == 1
+    assert t.select("rndv") == [(1.0, "rndv", "kept")]
+    assert t.select("eager") == []
+
+
+def test_limit_and_dropped_count():
+    t = Tracer(limit=2)
+    for i in range(5):
+        t.log(float(i), "c", "m")
+    assert len(t) == 2
+    assert t.dropped == 3
+
+
+def test_clear():
+    t = Tracer()
+    t.log(1.0, "c", "m")
+    t.clear()
+    assert len(t) == 0
+    assert t.dropped == 0

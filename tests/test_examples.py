@@ -1,0 +1,78 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; broken examples are bugs.
+Each is executed as a subprocess in its cheapest mode.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "ping-pong" in out
+    assert "InfiniBand" in out and "Elan-4" in out
+
+
+def test_overlap_study():
+    out = run_example("overlap_study.py")
+    assert "hidden" in out
+
+
+def test_cost_analysis():
+    out = run_example("cost_analysis.py")
+    assert "96-port" in out
+    assert "+51" in out or "51." in out
+
+
+def test_lammps_scaling_quick():
+    out = run_example("lammps_scaling.py", "--quick")
+    assert "Scaling efficiency" in out
+    assert "1024 nodes" in out
+
+
+def test_sweep3d_wavefront_quick():
+    out = run_example("sweep3d_wavefront.py", "--quick")
+    assert "grind" in out
+    assert "Figure 5" in out
+
+
+def test_scale_whatif_quick():
+    out = run_example("scale_whatif.py", "--quick")
+    assert "64" in out
+    assert "trend says" in out
+
+
+def test_npb_breadth_quick():
+    out = run_example("npb_breadth.py", "--quick")
+    assert "CG" in out and "FT" in out and "MG" in out
+    assert "IB/Elan" in out
+
+
+def test_full_report_quick_subset():
+    out = run_example(
+        "full_report.py", "--quick", "--only", "table1,fig7", "--no-anchors"
+    )
+    assert "Figure 7" in out

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import coords2d, coords3d, factor2d, factor3d, rank2d, rank3d
+from repro.cost import best_fabric, elan4_cost, ib_24_288_cost
+from repro.core import fit_trend
+from repro.mpi.matching import ANY_SOURCE, ANY_TAG, Envelope, MatchQueue
+from repro.sim import Simulator, Stage, transfer_time_estimate
+from repro.sim.rng import RngStreams
+from repro.units import geometric_mean, pow2_sizes
+
+sizes_st = st.integers(min_value=0, max_value=1 << 22)
+procs_st = st.integers(min_value=1, max_value=512)
+
+
+# -- grids -----------------------------------------------------------------
+
+@given(procs_st)
+def test_factor3d_always_factors(p):
+    px, py, pz = factor3d(p)
+    assert px * py * pz == p
+    assert 1 <= px <= py <= pz
+
+
+@given(procs_st)
+def test_factor2d_always_factors(p):
+    pr, pc = factor2d(p)
+    assert pr * pc == p
+    assert pr >= pc >= 1
+
+
+@given(procs_st, st.data())
+def test_coords3d_bijective(p, data):
+    dims = factor3d(p)
+    r = data.draw(st.integers(min_value=0, max_value=p - 1))
+    x, y, z = coords3d(r, dims)
+    assert rank3d(x, y, z, dims) == r
+
+
+@given(procs_st, st.data())
+def test_coords2d_bijective(p, data):
+    dims = factor2d(p)
+    r = data.draw(st.integers(min_value=0, max_value=p - 1))
+    row, col = coords2d(r, dims)
+    assert rank2d(row, col, dims) == r
+
+
+# -- matching ---------------------------------------------------------------
+
+envelope_st = st.builds(
+    Envelope,
+    source=st.integers(min_value=0, max_value=15),
+    tag=st.integers(min_value=0, max_value=7),
+)
+
+
+@given(st.lists(envelope_st, max_size=30), envelope_st)
+def test_match_queue_returns_earliest_match(entries, incoming):
+    q = MatchQueue()
+    for i, env in enumerate(entries):
+        q.append(env, i)
+    item, _searched = q.find_for_incoming(incoming)
+    matching = [
+        i
+        for i, env in enumerate(entries)
+        if env.source == incoming.source and env.tag == incoming.tag
+    ]
+    if matching:
+        assert item == matching[0]
+    else:
+        assert item is None
+
+
+@given(st.lists(envelope_st, max_size=30))
+def test_wildcard_posting_always_matches_nonempty(entries):
+    q = MatchQueue()
+    for i, env in enumerate(entries):
+        q.append(env, i)
+    item, _ = q.find_for_posting(Envelope(ANY_SOURCE, ANY_TAG))
+    if entries:
+        assert item == 0  # the earliest, always
+    else:
+        assert item is None
+
+
+@given(st.lists(envelope_st, max_size=20))
+def test_queue_drains_exactly_once(entries):
+    q = MatchQueue()
+    for i, env in enumerate(entries):
+        q.append(env, i)
+    seen = []
+    while True:
+        item, _ = q.find_for_posting(Envelope(ANY_SOURCE, ANY_TAG))
+        if item is None:
+            break
+        seen.append(item)
+    assert seen == list(range(len(entries)))
+    assert len(q) == 0
+
+
+# -- pipelines ----------------------------------------------------------------
+
+stage_st = st.builds(
+    Stage,
+    resource=st.none(),
+    bandwidth=st.one_of(st.none(), st.floats(min_value=1.0, max_value=5000.0)),
+    overhead=st.floats(min_value=0.0, max_value=10.0),
+    latency_out=st.floats(min_value=0.0, max_value=5.0),
+)
+
+
+@given(st.lists(stage_st, min_size=1, max_size=5), sizes_st)
+def test_transfer_estimate_positive_and_monotone(stages, size):
+    t = transfer_time_estimate(stages, size)
+    t2 = transfer_time_estimate(stages, size + 4096)
+    assert t >= 0.0
+    assert t2 >= t
+
+
+@given(st.lists(stage_st, min_size=1, max_size=4), sizes_st)
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+def test_simulated_transfer_matches_estimate(stages, size):
+    from repro.sim import transfer
+
+    sim = Simulator()
+    out = {}
+
+    def proc():
+        out["end"] = yield from transfer(sim, stages, size)
+
+    sim.spawn(proc())
+    sim.run()
+    expected = transfer_time_estimate(stages, size)
+    assert math.isclose(out["end"], expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+# -- rng -----------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+def test_rng_streams_reproducible(seed, name):
+    a = RngStreams(seed).stream(name).random()
+    b = RngStreams(seed).stream(name).random()
+    assert a == b
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_rng_streams_independent(seed):
+    r = RngStreams(seed)
+    a = r.stream("alpha")
+    b = r.stream("beta")
+    assert a is not b
+
+
+@given(
+    st.floats(min_value=0.001, max_value=1e6),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_jitter_nonnegative(mean, cv):
+    r = RngStreams(1)
+    v = r.jitter("j", mean, cv)
+    assert v >= 0.0
+    if cv == 0.0:
+        assert v == mean
+
+
+# -- units ------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=1 << 30))
+def test_pow2_sizes_bounded(max_bytes):
+    sizes = pow2_sizes(max_bytes)
+    assert sizes[0] == 0
+    assert all(s <= max_bytes for s in sizes)
+    assert sizes[-1] * 2 > max_bytes
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=30))
+def test_geometric_mean_bounds(values):
+    g = geometric_mean(values)
+    assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+
+# -- cost ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=3000))
+def test_cost_totals_positive_and_itemized(n):
+    for fn in (elan4_cost, ib_24_288_cost):
+        c = fn(n)
+        assert c.total > 0
+        assert c.total == c.adapters + c.cables + c.switching + c.extras
+
+
+@given(st.integers(min_value=1, max_value=1000), st.sampled_from([24, 48, 96, 128]))
+def test_fabric_has_enough_down_ports(n, radix):
+    from hypothesis import assume
+
+    assume(n <= (radix // 2) * radix)  # two-level capacity bound
+    sw = best_fabric(n, radix)
+    if sw.spines == 0:
+        assert n <= radix
+    else:
+        assert sw.leaves * (radix // 2) >= n
+
+
+# -- extrapolation ---------------------------------------------------------------------
+
+@given(
+    st.floats(min_value=0.5, max_value=1.0),
+    st.floats(min_value=-0.05, max_value=0.0),
+)
+def test_fit_trend_recovers_any_line(intercept, slope):
+    pairs = [(n, intercept + slope * math.log2(n)) for n in (2, 4, 8, 16, 32)]
+    fit = fit_trend(pairs, tail_points=5)
+    assert math.isclose(fit.slope_per_doubling, slope, abs_tol=1e-9)
+    assert math.isclose(fit.intercept, intercept, abs_tol=1e-9)

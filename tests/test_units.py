@@ -1,0 +1,93 @@
+"""Unit tests for unit helpers."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_time_us,
+    geometric_mean,
+    mb_per_s,
+    pow2_sizes,
+    s_from_us,
+    us_from_ms,
+    us_from_s,
+)
+
+
+def test_bandwidth_identity():
+    # 1 byte/us == 1 MB/s under the package conventions.
+    assert mb_per_s(1000, 1000) == pytest.approx(1.0)
+
+
+def test_bandwidth_rejects_zero_duration():
+    with pytest.raises(ValueError):
+        mb_per_s(100, 0.0)
+
+
+def test_time_conversions_roundtrip():
+    assert s_from_us(us_from_s(3.5)) == pytest.approx(3.5)
+    assert us_from_ms(2.0) == 2000.0
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(0) == "0"
+    assert fmt_bytes(512) == "512"
+    assert fmt_bytes(4 * KiB) == "4 KB"
+    assert fmt_bytes(4 * MiB) == "4 MB"
+
+
+def test_fmt_time_scales():
+    assert fmt_time_us(5.0).endswith("us")
+    assert fmt_time_us(5000.0).endswith("ms")
+    assert fmt_time_us(5_000_000.0).endswith("s")
+
+
+def test_pow2_sizes_structure():
+    sizes = pow2_sizes(4 * MiB)
+    assert sizes[0] == 0
+    assert sizes[1] == 1
+    assert sizes[-1] == 4 * MiB
+    # strictly doubling after the zero entry
+    for a, b in zip(sizes[1:], sizes[2:]):
+        assert b == 2 * a
+
+
+def test_pow2_sizes_without_zero():
+    assert pow2_sizes(8, include_zero=False) == [1, 2, 4, 8]
+
+
+def test_pow2_sizes_rejects_bad_max():
+    with pytest.raises(ValueError):
+        pow2_sizes(0)
+
+
+def test_geometric_mean_known_value():
+    assert geometric_mean([1, 100]) == pytest.approx(10.0)
+    assert geometric_mean([7]) == pytest.approx(7.0)
+
+
+def test_geometric_mean_weights_small_values():
+    # The b_eff property: the log average sits far below the arithmetic
+    # mean when small values are present.
+    values = [10.0, 1000.0]
+    geo = geometric_mean(values)
+    assert geo == pytest.approx(100.0)
+    assert geo < sum(values) / 2
+
+
+def test_geometric_mean_rejects_empty_and_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_geometric_mean_log_identity():
+    vals = [3.0, 9.0, 27.0]
+    assert geometric_mean(vals) == pytest.approx(
+        math.exp(sum(math.log(v) for v in vals) / 3)
+    )
