@@ -1,13 +1,23 @@
-"""Figure 2: LAMMPS LJS scaled study — time and scaling efficiency."""
+"""Figure 2: LAMMPS LJS scaled study — time and scaling efficiency.
+
+This benchmark executes its sweep through the campaign engine (4
+workers, content-addressed cache under a per-run temp dir), exercising
+the parallel path end to end; the numbers are bit-identical to the
+serial runner.
+"""
 
 from conftest import emit
 
+from repro.campaign import CampaignEngine
 from repro.core.figures import fig2_lammps_ljs
 
 
-def test_fig2_lammps_ljs(benchmark, quick):
+def test_fig2_lammps_ljs(benchmark, quick, tmp_path):
+    engine = CampaignEngine(root=tmp_path / "campaign", workers=4)
     fig = benchmark.pedantic(
-        lambda: fig2_lammps_ljs(quick=quick), rounds=1, iterations=1
+        lambda: fig2_lammps_ljs(quick=quick, engine=engine),
+        rounds=1,
+        iterations=1,
     )
     emit(fig)
     eff = {

@@ -38,6 +38,13 @@ from .apps import (
     lammps_program,
     sweep3d_program,
 )
+from .campaign import (
+    CampaignEngine,
+    CampaignResult,
+    CampaignSpec,
+    RunSpec,
+    run_study,
+)
 from .core import (
     EXPERIMENTS,
     FigureData,
@@ -69,6 +76,11 @@ __all__ = [
     "run_beff",
     "ScalingStudy",
     "StudyResult",
+    "CampaignSpec",
+    "RunSpec",
+    "CampaignEngine",
+    "CampaignResult",
+    "run_study",
     "EXPERIMENTS",
     "FigureData",
     "check_all",

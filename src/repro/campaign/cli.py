@@ -1,0 +1,166 @@
+"""``repro-campaign`` console script: run / status / clean.
+
+``run`` executes a campaign described by a JSON spec file (see
+EXPERIMENTS.md for the format), ``status`` summarizes a campaign root's
+journal and cache, and ``clean`` deletes the cached results and journal.
+
+Example spec file::
+
+    {
+      "name": "pingpong-sizes",
+      "base": {"app": "pingpong", "nodes": 2},
+      "grid": {"network": ["ib", "elan"],
+               "app_args.size": [0, 1024, 65536]},
+      "repetitions": 1,
+      "seed_base": 0
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from .cache import ResultCache
+from .engine import DEFAULT_ROOT, CampaignEngine
+from .journal import Journal
+from .spec import CampaignSpec
+
+
+def _add_root(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--root",
+        default=DEFAULT_ROOT,
+        help=f"campaign state directory (default: {DEFAULT_ROOT})",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    campaign = CampaignSpec.from_file(args.spec)
+    engine = CampaignEngine(
+        root=args.root,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        resume=not args.force,
+        trace=args.trace,
+        echo=None if args.quiet else (lambda m: print(m, file=sys.stderr)),
+    )
+    result = engine.run(campaign, force=args.force)
+    print(result.summary())
+    if args.values:
+        for record in result.records:
+            print(
+                json.dumps(
+                    {
+                        "label": record.get("label"),
+                        "status": record.get("status"),
+                        "value": record.get("value"),
+                        "elapsed_us": record.get("elapsed_us"),
+                    }
+                )
+            )
+    return 1 if result.errors else 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    journal = Journal(f"{args.root}/journal.jsonl")
+    cache = ResultCache(f"{args.root}/cache")
+    entries = list(journal.entries())
+    ok = [r for r in entries if r.get("status") == "ok"]
+    errors = [r for r in entries if r.get("status") == "error"]
+    reused = [r for r in entries if r.get("reused")]
+    distinct = {r.get("key") for r in ok}
+    sim_wall = sum(r.get("wall_s", 0.0) for r in entries if not r.get("reused"))
+    print(f"campaign root: {args.root}")
+    print(
+        f"journal: {len(entries)} records "
+        f"({len(ok)} ok, {len(errors)} error, {len(reused)} reused), "
+        f"{len(distinct)} distinct completed runs, "
+        f"{sim_wall:.2f}s simulated wall time"
+    )
+    print(
+        f"cache: {cache.count()} entries, "
+        f"{cache.size_bytes() / 1024.0:.1f} KiB"
+    )
+    for record in journal.tail(args.tail):
+        status = record.get("status", "?")
+        flag = " (reused)" if record.get("reused") else ""
+        print(f"  [{status}]{flag} {record.get('label', record.get('key'))}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    cache = ResultCache(f"{args.root}/cache")
+    journal = Journal(f"{args.root}/journal.jsonl")
+    removed = cache.clear()
+    journal.clear()
+    print(f"removed {removed} cache entries and the journal from {args.root}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Parallel, cached, resumable experiment campaigns "
+        "over the InfiniBand/Elan-4 simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign spec file")
+    run.add_argument("spec", help="JSON campaign spec file")
+    _add_root(run)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default 1 = serial)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="re-execute every run, ignoring cache and journal",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="run with tracing on and journal per-category record counts",
+    )
+    run.add_argument(
+        "--values", action="store_true", help="print one JSON line per run"
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    run.set_defaults(func=cmd_run)
+
+    status = sub.add_parser("status", help="summarize journal and cache")
+    _add_root(status)
+    status.add_argument(
+        "--tail", type=int, default=5, help="recent journal lines to show"
+    )
+    status.set_defaults(func=cmd_status)
+
+    clean = sub.add_parser("clean", help="delete cached results and journal")
+    _add_root(clean)
+    clean.set_defaults(func=cmd_clean)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,210 @@
+"""The campaign engine: cached, parallel, resumable sweep execution.
+
+The engine resolves each :class:`~.spec.RunSpec` in three tiers:
+
+1. **cache** — a content-addressed record from any earlier campaign;
+2. **journal** — a completed line from this campaign root's journal
+   (covers cache-disabled runs and interrupted campaigns);
+3. **run** — execute on a fresh simulated machine, serially or on a
+   :mod:`multiprocessing` worker pool.
+
+The simulator is deterministic per seed, so tier choice and worker
+count never change a record's payload — parallel campaigns are
+bit-identical to serial ones, and re-running an identical campaign is a
+pure cache replay.  Duplicate points are collapsed before execution and
+every completion is journaled immediately, which is what makes a
+half-finished campaign resumable with no bookkeeping beyond the JSONL
+file.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .cache import ResultCache
+from .journal import Journal
+from .runner import execute_run
+from .spec import CampaignSpec, RunSpec
+
+#: Default campaign state directory (override with ``root=``).
+DEFAULT_ROOT = ".repro-campaign"
+
+
+def _pool_context():
+    # fork is much cheaper than spawn and available everywhere we run
+    # (Linux CI and dev boxes); fall back gracefully elsewhere.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a worker count; 0 means one per CPU."""
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ConfigurationError("worker count cannot be negative")
+    return workers
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one engine invocation, records in request order."""
+
+    records: List[Dict[str, Any]]
+    #: Runs served from the cache or the journal (not re-simulated).
+    hits: int
+    #: Runs actually executed this invocation.
+    misses: int
+    #: Executed runs that ended in an error record.
+    errors: int
+    #: Wall-clock time of the whole invocation, seconds.
+    wall_s: float
+    name: str = ""
+    #: Tier tallies: {"cache": n, "journal": n, "run": n}.
+    sources: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def values(self) -> List[Optional[float]]:
+        """The scalar metric of every record, in request order."""
+        return [r.get("value") for r in self.records]
+
+    def failed(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("status") != "ok"]
+
+    def summary(self) -> str:
+        name = f"campaign {self.name!r}: " if self.name else ""
+        return (
+            f"{name}{self.total} runs in {self.wall_s:.2f}s — "
+            f"{self.hits} cached ({self.hit_rate * 100.0:.0f}% hit rate), "
+            f"{self.misses} executed, {self.errors} errors"
+        )
+
+
+class CampaignEngine:
+    """Executes RunSpecs with caching, journaling and a worker pool."""
+
+    def __init__(
+        self,
+        root=DEFAULT_ROOT,
+        workers: int = 1,
+        use_cache: bool = True,
+        resume: bool = True,
+        trace: bool = False,
+        echo: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.workers = resolve_workers(workers)
+        self.use_cache = use_cache
+        self.resume = resume
+        self.trace = trace
+        self.echo = echo
+        self.cache = ResultCache(self.root / "cache")
+        self.journal = Journal(self.root / "journal.jsonl")
+
+    def _say(self, message: str) -> None:
+        if self.echo is not None:
+            self.echo(message)
+
+    def run(self, campaign: CampaignSpec, force: bool = False) -> CampaignResult:
+        """Expand and execute one declarative campaign."""
+        result = self.run_specs(campaign.expand(), force=force)
+        result.name = campaign.name
+        return result
+
+    def run_specs(
+        self, specs: Sequence[RunSpec], force: bool = False
+    ) -> CampaignResult:
+        """Execute a run list; records come back in request order.
+
+        ``force`` bypasses both reuse tiers and re-simulates everything
+        (results still land in the cache and journal afterwards).
+        """
+        t0 = time.perf_counter()
+        specs = list(specs)
+        journaled = {} if (force or not self.resume) else self.journal.completed()
+
+        by_key: Dict[str, Dict[str, Any]] = {}
+        sources = {"cache": 0, "journal": 0, "run": 0}
+        to_run: List[RunSpec] = []
+        pending = set()
+        for spec in specs:
+            key = spec.key
+            if key in by_key or key in pending:
+                continue  # duplicate point: one execution serves all
+            record = None
+            if not force and self.use_cache:
+                record = self.cache.get(key)
+                if record is not None:
+                    sources["cache"] += 1
+            if record is None and key in journaled:
+                record = journaled[key]
+                sources["journal"] += 1
+                if self.use_cache:
+                    self.cache.put(key, record)
+            if record is not None:
+                by_key[key] = record
+                self.journal.append(dict(record, reused=True))
+                self._say(f"hit  {record.get('label', key)}")
+            else:
+                to_run.append(spec)
+                pending.add(key)
+
+        errors = 0
+        for record in self._execute(to_run):
+            sources["run"] += 1
+            by_key[record["key"]] = record
+            if record.get("status") == "ok":
+                if self.use_cache:
+                    self.cache.put(record["key"], record)
+            else:
+                errors += 1
+            self.journal.append(record)
+            status = "ok  " if record.get("status") == "ok" else "FAIL"
+            self._say(
+                f"{status} {record.get('label', record['key'])} "
+                f"({record.get('wall_s', 0.0):.2f}s)"
+            )
+
+        records = [by_key[spec.key] for spec in specs]
+        hits = sources["cache"] + sources["journal"]
+        return CampaignResult(
+            records=records,
+            hits=hits,
+            misses=sources["run"],
+            errors=errors,
+            wall_s=time.perf_counter() - t0,
+            sources=sources,
+        )
+
+    def _execute(self, specs: List[RunSpec]):
+        """Yield a record per spec as it completes (order unspecified)."""
+        if not specs:
+            return
+        run = partial(execute_run, trace=self.trace)
+        if self.workers <= 1 or len(specs) == 1:
+            for spec in specs:
+                yield run(spec)
+            return
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(self.workers, len(specs))) as pool:
+            # Unordered so each completion is journaled (and therefore
+            # resumable) the moment it lands; request order is restored
+            # by the caller via spec keys.
+            for record in pool.imap_unordered(run, specs, chunksize=1):
+                yield record

@@ -1,0 +1,63 @@
+"""JSONL run journal: the campaign's observability and resume surface.
+
+Every finished run — executed, cache-served, or failed — appends one
+JSON line with its key, status, value and timing.  Because lines are
+appended and flushed as they complete, a campaign killed mid-flight
+leaves a valid prefix: on restart, :meth:`Journal.completed` replays the
+successful lines and the engine skips straight to the unfinished tail.
+A torn final line (the kill landed mid-write) is ignored, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List
+
+
+class Journal:
+    """Append-only JSONL record of campaign runs."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record and flush it to disk immediately."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with self.path.open("a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """All well-formed records, oldest first; torn lines skipped."""
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # interrupted mid-write; the run will re-execute
+            if isinstance(record, dict):
+                yield record
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Latest successful record per run key (the resume set)."""
+        done: Dict[str, Dict[str, Any]] = {}
+        for record in self.entries():
+            key = record.get("key")
+            if key and record.get("status") == "ok":
+                done[key] = record
+        return done
+
+    def tail(self, n: int = 10) -> List[Dict[str, Any]]:
+        """The most recent n records."""
+        return list(self.entries())[-n:]
+
+    def clear(self) -> None:
+        self.path.unlink(missing_ok=True)

@@ -1,0 +1,69 @@
+"""Execution of one :class:`~.spec.RunSpec` — the worker-pool unit.
+
+:func:`execute_run` is a module-level function taking only picklable
+arguments so it can cross a :mod:`multiprocessing` boundary unchanged.
+The simulator is deterministic for a fixed seed, so the record it
+returns is identical whether the run happens in the parent process, a
+pool worker, or a different campaign entirely — which is what makes the
+content-addressed cache sound.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..mpi import Machine
+from ..sim import Tracer
+from ..version import __version__
+from .programs import build_program
+from .spec import RunSpec
+
+
+def scalar_value(values: List[Any]) -> Optional[float]:
+    """The study metric: the slowest rank's numeric return value.
+
+    Matches ``max(result.values)`` for app skeletons (every rank returns
+    its elapsed time) while tolerating programs such as ping-pong where
+    idle ranks return ``None``.
+    """
+    numeric = [v for v in values if isinstance(v, (int, float))]
+    return float(max(numeric)) if numeric else None
+
+
+def execute_run(spec: RunSpec, trace: bool = False) -> Dict[str, Any]:
+    """Run one spec on a fresh machine; always returns a journal record.
+
+    Failures are captured as ``status: "error"`` records rather than
+    raised, so one bad point can't take down a campaign (or a worker).
+    """
+    t0 = time.perf_counter()
+    record: Dict[str, Any] = {
+        "key": spec.key,
+        "spec": spec.to_dict(),
+        "label": spec.label(),
+        "version": __version__,
+    }
+    tracer = Tracer(enabled=True) if trace else None
+    try:
+        machine = Machine(
+            spec.network,
+            spec.nodes,
+            ppn=spec.ppn,
+            seed=spec.seed,
+            fabric_radix=spec.fabric_radix,
+            ib_progress_thread=spec.ib_progress_thread,
+            trace=tracer,
+        )
+        result = machine.run(build_program(spec.app, spec.args))
+        record.update(
+            status="ok",
+            value=scalar_value(result.values),
+            elapsed_us=result.elapsed_us,
+        )
+    except Exception as exc:  # noqa: BLE001 - isolate per-run failures
+        record.update(status="error", error=f"{type(exc).__name__}: {exc}")
+    record["wall_s"] = time.perf_counter() - t0
+    if tracer is not None:
+        record["trace_summary"] = tracer.summary()
+    return record

@@ -10,6 +10,13 @@ DESIGN.md's per-experiment index.
 Every generator takes a ``quick`` flag: the default regenerates the
 paper-scale sweep; ``quick=True`` shrinks repetitions and node counts for
 tests and smoke runs without changing the code path.
+
+Generators also accept an optional ``engine`` — a
+:class:`repro.campaign.CampaignEngine` — which routes their
+scaling-study sweeps through the campaign cache and worker pool.
+Results are bit-identical with or without it (the engine only changes
+where and whether each deterministic simulation executes); generators
+without study sweeps (microbenchmarks, tables) ignore it.
 """
 
 from __future__ import annotations
@@ -21,13 +28,9 @@ from ..apps import (
     CG_CLASS_A,
     LJS,
     MEMBRANE,
-    Sweep3dConfig,
     SWEEP150,
-    cg_program,
     grind_time_ns,
-    lammps_program,
     mops_per_process,
-    sweep3d_program,
 )
 from ..cost import cost_curves, system_cost_gap, table_rows
 from ..cost.prices import IB_PRICES, QUADRICS_PRICES
@@ -80,7 +83,7 @@ def _micro_sizes(quick: bool) -> List[int]:
     return pow2_sizes(64 * KiB) if quick else pow2_sizes(4 * MiB)
 
 
-def fig1a_latency(quick: bool = False, seed: int = 0) -> FigureData:
+def fig1a_latency(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """Ping-pong latency vs message size (log x-axis)."""
     sizes = _micro_sizes(quick)
     series = []
@@ -105,7 +108,7 @@ def fig1a_latency(quick: bool = False, seed: int = 0) -> FigureData:
     )
 
 
-def fig1b_bandwidth(quick: bool = False, seed: int = 0) -> FigureData:
+def fig1b_bandwidth(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """Ping-pong and streaming bandwidth vs message size."""
     sizes = [s for s in _micro_sizes(quick) if s > 0]
     series = []
@@ -141,7 +144,7 @@ def fig1b_bandwidth(quick: bool = False, seed: int = 0) -> FigureData:
     )
 
 
-def fig1c_ratio(quick: bool = False, seed: int = 0) -> FigureData:
+def fig1c_ratio(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """Elan-4 : InfiniBand bandwidth ratio vs message size."""
     fig = fig1b_bandwidth(quick=quick, seed=seed)
     by_label = {s.label: s for s in fig.series}
@@ -168,7 +171,7 @@ def fig1c_ratio(quick: bool = False, seed: int = 0) -> FigureData:
     )
 
 
-def fig1d_beff(quick: bool = False, seed: int = 0) -> FigureData:
+def fig1d_beff(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """b_eff per process vs number of processes (1 PPN)."""
     counts = (2, 4, 8) if quick else (2, 4, 8, 16, 32)
     max_size = 64 * KiB if quick else 1 * MiB
@@ -198,19 +201,20 @@ def fig1d_beff(quick: bool = False, seed: int = 0) -> FigureData:
 # --------------------------------------------------------------------------
 
 def _lammps_figure(
-    exp_id: str, title: str, config, quick: bool, seed: int
+    exp_id: str, title: str, config, quick: bool, seed: int, engine=None
 ) -> FigureData:
     node_counts = [1, 2, 4] if quick else [1, 2, 4, 8, 16, 32]
     reps = 2 if quick else 4
     study = ScalingStudy(
-        lambda: lammps_program(config),
+        app="lammps",
+        app_args={"config": config.name},
         node_counts=node_counts,
         ppns=(1, 2),
         repetitions=reps,
         mode="scaled",
         seed_base=seed + 1000,
     )
-    result = study.run()
+    result = study.run(engine=engine)
     series = result.time_series(unit=1e6)  # seconds
     for s in series:
         s.y_name = "time (s)"
@@ -224,7 +228,9 @@ def _lammps_figure(
     )
 
 
-def fig2_lammps_ljs(quick: bool = False, seed: int = 0) -> FigureData:
+def fig2_lammps_ljs(
+    quick: bool = False, seed: int = 0, engine=None
+) -> FigureData:
     """LAMMPS LJS: execution time and scaling efficiency."""
     return _lammps_figure(
         "fig2",
@@ -232,10 +238,13 @@ def fig2_lammps_ljs(quick: bool = False, seed: int = 0) -> FigureData:
         LJS,
         quick,
         seed,
+        engine=engine,
     )
 
 
-def fig3_lammps_membrane(quick: bool = False, seed: int = 0) -> FigureData:
+def fig3_lammps_membrane(
+    quick: bool = False, seed: int = 0, engine=None
+) -> FigureData:
     """LAMMPS membrane: execution time and scaling efficiency."""
     return _lammps_figure(
         "fig3",
@@ -243,6 +252,7 @@ def fig3_lammps_membrane(quick: bool = False, seed: int = 0) -> FigureData:
         MEMBRANE,
         quick,
         seed,
+        engine=engine,
     )
 
 
@@ -250,19 +260,20 @@ def fig3_lammps_membrane(quick: bool = False, seed: int = 0) -> FigureData:
 # Figures 4/5: Sweep3D fixed-size study
 # --------------------------------------------------------------------------
 
-def fig4_sweep3d(quick: bool = False, seed: int = 0) -> FigureData:
+def fig4_sweep3d(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """Sweep3D 150^3: grind time and scaling efficiency (1 PPN)."""
     node_counts = [1, 4, 9] if quick else [1, 4, 9, 16, 25, 32]
     reps = 2 if quick else 4
     study = ScalingStudy(
-        lambda: sweep3d_program(SWEEP150),
+        app="sweep3d",
+        app_args={"n": SWEEP150.n},
         node_counts=node_counts,
         ppns=(1,),
         repetitions=reps,
         mode="fixed",
         seed_base=seed + 2000,
     )
-    result = study.run()
+    result = study.run(engine=engine)
     series = []
     for net in ("ib", "elan"):
         pts = result.curves[(net, 1)]
@@ -286,16 +297,18 @@ def fig4_sweep3d(quick: bool = False, seed: int = 0) -> FigureData:
     )
 
 
-def fig5_sweep3d_inputs(quick: bool = False, seed: int = 0) -> FigureData:
+def fig5_sweep3d_inputs(
+    quick: bool = False, seed: int = 0, engine=None
+) -> FigureData:
     """Sweep3D input sweep on InfiniBand, normalized at 4 processes."""
     grids = (100, 150) if quick else (100, 150, 200)
     node_counts = [4, 9] if quick else [4, 9, 16, 25, 32]
     reps = 2 if quick else 4
     series = []
     for n in grids:
-        config = Sweep3dConfig(n=n)
         study = ScalingStudy(
-            lambda config=config: sweep3d_program(config),
+            app="sweep3d",
+            app_args={"n": n},
             node_counts=node_counts,
             networks=("ib",),
             ppns=(1,),
@@ -303,7 +316,7 @@ def fig5_sweep3d_inputs(quick: bool = False, seed: int = 0) -> FigureData:
             mode="fixed",
             seed_base=seed + 3000 + n,
         )
-        result = study.run()
+        result = study.run(engine=engine)
         pts = result.curves[("ib", 1)]
         pairs = fixed_efficiency(
             pts[0].procs,
@@ -327,19 +340,20 @@ def fig5_sweep3d_inputs(quick: bool = False, seed: int = 0) -> FigureData:
 # Figure 6: NAS CG
 # --------------------------------------------------------------------------
 
-def fig6_nas_cg(quick: bool = False, seed: int = 0) -> FigureData:
+def fig6_nas_cg(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """NAS CG class A: MOps/s/process and scaling efficiency."""
     node_counts = [1, 2, 4] if quick else [1, 2, 4, 8, 16, 32]
     reps = 2 if quick else 4
     study = ScalingStudy(
-        lambda: cg_program(CG_CLASS_A),
+        app="cg",
+        app_args={"config": CG_CLASS_A.name},
         node_counts=node_counts,
         ppns=(1,),
         repetitions=reps,
         mode="fixed",
         seed_base=seed + 4000,
     )
-    result = study.run()
+    result = study.run(engine=engine)
     series = []
     for net in ("ib", "elan"):
         pts = result.curves[(net, 1)]
@@ -370,7 +384,7 @@ def fig6_nas_cg(quick: bool = False, seed: int = 0) -> FigureData:
 # Cost analysis: Tables 2/3 and Figure 7
 # --------------------------------------------------------------------------
 
-def table2_3_prices(quick: bool = False, seed: int = 0) -> FigureData:
+def table2_3_prices(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """The list-price tables with provenance flags."""
     del quick, seed
     text = render_table(
@@ -393,7 +407,7 @@ def table2_3_prices(quick: bool = False, seed: int = 0) -> FigureData:
     )
 
 
-def fig7_cost(quick: bool = False, seed: int = 0) -> FigureData:
+def fig7_cost(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """Network cost per port vs network size, four configurations."""
     del seed
     sizes = (
@@ -424,6 +438,7 @@ def fig8_extrapolation(
     quick: bool = False,
     seed: int = 0,
     membrane_result: Optional[StudyResult] = None,
+    engine=None,
 ) -> FigureData:
     """Membrane scaling extrapolated to 8192 processors.
 
@@ -434,14 +449,15 @@ def fig8_extrapolation(
         node_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32]
         reps = 2 if quick else 4
         study = ScalingStudy(
-            lambda: lammps_program(MEMBRANE),
+            app="lammps",
+            app_args={"config": MEMBRANE.name},
             node_counts=node_counts,
             ppns=(1,),
             repetitions=reps,
             mode="scaled",
             seed_base=seed + 5000,
         )
-        membrane_result = study.run()
+        membrane_result = study.run(engine=engine)
     series = []
     out_to = 8192
     for net in ("ib", "elan"):
@@ -480,7 +496,7 @@ def fig8_extrapolation(
     )
 
 
-def table1_platform(quick: bool = False, seed: int = 0) -> FigureData:
+def table1_platform(quick: bool = False, seed: int = 0, engine=None) -> FigureData:
     """Table 1: the evaluation platform."""
     del quick, seed
     return FigureData(

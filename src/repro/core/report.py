@@ -53,8 +53,14 @@ def run_experiments(
     quick: bool = False,
     seed: int = 0,
     echo=None,
+    engine=None,
 ) -> List[FigureData]:
-    """Run the selected experiments (all, in paper order, by default)."""
+    """Run the selected experiments (all, in paper order, by default).
+
+    Passing a :class:`repro.campaign.CampaignEngine` routes every
+    scaling-study sweep through its cache and worker pool; the numbers
+    are identical either way.
+    """
     selected = list(ids) if ids else list(EXPERIMENTS)
     unknown = [i for i in selected if i not in EXPERIMENTS]
     if unknown:
@@ -63,7 +69,7 @@ def run_experiments(
     out = []
     for exp_id in selected:
         t0 = time.time()
-        fig = EXPERIMENTS[exp_id](quick=quick, seed=seed)
+        fig = EXPERIMENTS[exp_id](quick=quick, seed=seed, engine=engine)
         if echo is not None:
             echo(f"[{exp_id}] regenerated in {time.time() - t0:.1f}s")
         out.append(fig)
@@ -126,15 +132,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="",
         help="also write each figure's series as CSV/JSON into this directory",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run study sweeps on a campaign worker pool of this size "
+        "(0 = one per CPU); implies --campaign-root",
+    )
+    parser.add_argument(
+        "--campaign-root",
+        default="",
+        help="cache study sweeps in this campaign directory "
+        "(see repro-campaign)",
+    )
     args = parser.parse_args(argv)
     if args.parameters:
         from .parameters import render_parameters
 
         print(render_parameters())
         print()
+    engine = None
+    if args.workers is not None or args.campaign_root:
+        from ..campaign import DEFAULT_ROOT, CampaignEngine
+
+        engine = CampaignEngine(
+            root=args.campaign_root or DEFAULT_ROOT,
+            workers=args.workers if args.workers is not None else 1,
+        )
     ids = [s.strip() for s in args.only.split(",") if s.strip()] or None
     figures = run_experiments(
-        ids=ids, quick=args.quick, seed=args.seed, echo=lambda m: print(m, file=sys.stderr)
+        ids=ids, quick=args.quick, seed=args.seed, echo=lambda m: print(m, file=sys.stderr),
+        engine=engine,
     )
     print(
         render_report(

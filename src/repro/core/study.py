@@ -5,12 +5,22 @@ networks, both PPN modes and a list of node counts, with each data point
 averaged over four repetitions on machines seeded differently — exactly
 the paper's methodology ("Each data point is the average of four
 benchmark runs").
+
+A study can be built two ways:
+
+* with a ``program_factory`` closure (the historical API), which runs
+  serially in-process; or
+* declaratively with an ``app`` id plus ``app_args`` (see
+  :mod:`repro.campaign.programs`), which additionally lets ``run()``
+  execute the sweep through a :class:`repro.campaign.CampaignEngine` —
+  parallel across workers, memoized on disk, and resumable — while
+  producing bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..mpi import Machine, NETWORK_LABELS
@@ -21,6 +31,9 @@ from .efficiency import efficiency_series, fixed_efficiency, scaled_efficiency
 DEFAULT_REPETITIONS = 4
 
 ProgramMaker = Callable[[], Callable]
+
+#: One (network, ppn, nodes) sweep cell, in study order.
+StudyCell = Tuple[str, int, int]
 
 
 @dataclass
@@ -105,13 +118,15 @@ class ScalingStudy:
 
     def __init__(
         self,
-        program_factory: Callable[[], Callable],
-        node_counts: Sequence[int],
+        program_factory: Optional[Callable[[], Callable]] = None,
+        node_counts: Sequence[int] = (),
         networks: Sequence[str] = ("ib", "elan"),
         ppns: Sequence[int] = (1,),
         repetitions: int = DEFAULT_REPETITIONS,
         mode: str = "scaled",
         seed_base: int = 1000,
+        app: Optional[str] = None,
+        app_args: Optional[Mapping[str, Any]] = None,
     ) -> None:
         if not node_counts:
             raise ConfigurationError("need at least one node count")
@@ -119,6 +134,10 @@ class ScalingStudy:
             raise ConfigurationError(f"unknown study mode {mode!r}")
         if repetitions < 1:
             raise ConfigurationError("need at least one repetition")
+        if program_factory is None and app is None:
+            raise ConfigurationError(
+                "need a program_factory or a declarative app id"
+            )
         self.program_factory = program_factory
         self.node_counts = list(node_counts)
         self.networks = list(networks)
@@ -126,25 +145,69 @@ class ScalingStudy:
         self.repetitions = repetitions
         self.mode = mode
         self.seed_base = seed_base
+        self.app = app
+        self.app_args = dict(app_args) if app_args else {}
 
-    def run(self, progress: Optional[Callable[[str], None]] = None) -> StudyResult:
-        """Execute the full sweep; deterministic for a fixed seed_base."""
+    def make_program(self) -> Callable:
+        """A fresh per-rank program for one measurement run."""
+        if self.program_factory is not None:
+            return self.program_factory()
+        from ..campaign.programs import build_program
+
+        return build_program(self.app, self.app_args)
+
+    def cells(self) -> List[StudyCell]:
+        """Every (network, ppn, nodes) cell in canonical sweep order."""
+        return [
+            (network, ppn, nodes)
+            for network in self.networks
+            for ppn in self.ppns
+            for nodes in self.node_counts
+        ]
+
+    def seeds(self) -> List[int]:
+        """Machine seed per repetition (the paper's four reruns)."""
+        return [self.seed_base + rep for rep in range(self.repetitions)]
+
+    def assemble(
+        self,
+        values: Mapping[Tuple[str, int, int, int], float],
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> StudyResult:
+        """Fold per-run values (keyed by cell + rep index) into a result."""
         curves: Dict[Tuple[str, int], List[StudyPoint]] = {}
-        for network in self.networks:
-            for ppn in self.ppns:
-                points = []
-                for nodes in self.node_counts:
-                    point = StudyPoint(network=network, ppn=ppn, nodes=nodes)
-                    for rep in range(self.repetitions):
-                        seed = self.seed_base + rep
-                        machine = Machine(network, nodes, ppn=ppn, seed=seed)
-                        result = machine.run(self.program_factory())
-                        point.stats.add(max(result.values))
-                    points.append(point)
-                    if progress is not None:
-                        progress(
-                            f"{network} {ppn}ppn {nodes} nodes: "
-                            f"{point.mean_time / 1e3:.1f} ms"
-                        )
-                curves[(network, ppn)] = points
+        for network, ppn, nodes in self.cells():
+            point = StudyPoint(network=network, ppn=ppn, nodes=nodes)
+            for rep in range(self.repetitions):
+                point.stats.add(values[(network, ppn, nodes, rep)])
+            curves.setdefault((network, ppn), []).append(point)
+            if progress is not None:
+                progress(
+                    f"{network} {ppn}ppn {nodes} nodes: "
+                    f"{point.mean_time / 1e3:.1f} ms"
+                )
         return StudyResult(curves=curves, mode=self.mode)
+
+    def run(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+        engine: Optional[Any] = None,
+    ) -> StudyResult:
+        """Execute the full sweep; deterministic for a fixed seed_base.
+
+        With a :class:`repro.campaign.CampaignEngine` the sweep's runs go
+        through the engine's cache and worker pool (the study must have
+        been built declaratively with ``app=``); results are identical
+        to the serial path either way.
+        """
+        if engine is not None:
+            from ..campaign.adapters import run_study
+
+            return run_study(self, engine, progress=progress)
+        values: Dict[Tuple[str, int, int, int], float] = {}
+        for network, ppn, nodes in self.cells():
+            for rep, seed in enumerate(self.seeds()):
+                machine = Machine(network, nodes, ppn=ppn, seed=seed)
+                result = machine.run(self.make_program())
+                values[(network, ppn, nodes, rep)] = max(result.values)
+        return self.assemble(values, progress=progress)

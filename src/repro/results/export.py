@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import csv
 import io
 from typing import Dict, List, Sequence
 
@@ -9,17 +10,22 @@ from .series import DataSeries
 
 
 def series_to_csv(series_list: Sequence[DataSeries]) -> str:
-    """Long-format CSV: label, x, y — one row per point."""
+    """Long-format CSV: label, x, y — one row per point.
+
+    Written with the :mod:`csv` module so labels containing commas,
+    quotes or newlines stay one parseable field.
+    """
     out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
     if series_list:
         x_name = series_list[0].x_name
         y_name = series_list[0].y_name
     else:
         x_name, y_name = "x", "y"
-    out.write(f"series,{x_name},{y_name}\n")
+    writer.writerow(["series", x_name, y_name])
     for s in series_list:
         for xi, yi in zip(s.x, s.y):
-            out.write(f"{s.label},{xi!r},{yi!r}\n")
+            writer.writerow([s.label, repr(xi), repr(yi)])
     return out.getvalue()
 
 

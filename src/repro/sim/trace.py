@@ -8,7 +8,7 @@ watch only rendezvous protocol traffic.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 TraceRecord = Tuple[float, str, str]
 
@@ -38,6 +38,22 @@ class Tracer:
             self.dropped += 1
             return
         self.records.append((now, category, message))
+
+    def summary(self) -> Dict[str, Union[int, Dict[str, int]]]:
+        """Per-category record counts plus the dropped count.
+
+        JSON-ready observability digest — campaign journals attach this
+        to each traced run so record volume can be inspected without
+        shipping the records themselves.
+        """
+        by_category: Dict[str, int] = {}
+        for _, category, _ in self.records:
+            by_category[category] = by_category.get(category, 0) + 1
+        return {
+            "total": len(self.records),
+            "dropped": self.dropped,
+            "by_category": dict(sorted(by_category.items())),
+        }
 
     def select(self, category: str) -> List[TraceRecord]:
         """All records of one category, in time order."""

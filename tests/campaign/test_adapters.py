@@ -1,0 +1,119 @@
+"""Adapter tests: studies and figures through the campaign engine."""
+
+import pytest
+
+from repro.campaign import CampaignEngine, run_study, study_spec
+from repro.core import ScalingStudy
+from repro.errors import ConfigurationError
+
+STUDY_KWARGS = dict(
+    node_counts=[1, 2],
+    networks=("ib", "elan"),
+    ppns=(1,),
+    repetitions=2,
+    mode="scaled",
+    seed_base=1000,
+)
+
+QUICK_LJS = {"config": "ljs", "steps": 2, "thermo_every": 1}
+
+
+def declarative_study():
+    return ScalingStudy(app="lammps", app_args=QUICK_LJS, **STUDY_KWARGS)
+
+
+def closure_study():
+    from dataclasses import replace
+
+    from repro.apps import LJS, lammps_program
+
+    cfg = replace(LJS, steps=2, thermo_every=1)
+    return ScalingStudy(lambda: lammps_program(cfg), **STUDY_KWARGS)
+
+
+def curves_of(result):
+    return {
+        cell: [(p.nodes, p.stats.values) for p in points]
+        for cell, points in result.curves.items()
+    }
+
+
+def test_engine_study_matches_serial_study(tmp_path):
+    serial = declarative_study().run()
+    engine = CampaignEngine(root=tmp_path, workers=4)
+    via_engine = declarative_study().run(engine=engine)
+    assert curves_of(serial) == curves_of(via_engine)
+    assert via_engine.mode == serial.mode
+
+
+def test_engine_study_matches_closure_study(tmp_path):
+    """Declarative app id rebuilds exactly the closure's program."""
+    engine = CampaignEngine(root=tmp_path, workers=1)
+    assert curves_of(closure_study().run()) == curves_of(
+        declarative_study().run(engine=engine)
+    )
+
+
+def test_second_engine_run_is_all_cache_hits(tmp_path):
+    engine = CampaignEngine(root=tmp_path, workers=1)
+    declarative_study().run(engine=engine)
+    echoes = []
+    warm_engine = CampaignEngine(root=tmp_path, workers=1, echo=echoes.append)
+    declarative_study().run(engine=warm_engine)
+    assert echoes and all(line.startswith("hit") for line in echoes)
+
+
+def test_progress_messages_match_serial(tmp_path):
+    serial_msgs, engine_msgs = [], []
+    declarative_study().run(progress=serial_msgs.append)
+    engine = CampaignEngine(root=tmp_path, workers=1)
+    declarative_study().run(progress=engine_msgs.append, engine=engine)
+    assert serial_msgs == engine_msgs
+    assert len(serial_msgs) == 4  # one per (network, ppn, nodes) cell
+
+
+def test_closure_study_rejects_engine(tmp_path):
+    engine = CampaignEngine(root=tmp_path, workers=1)
+    with pytest.raises(ConfigurationError):
+        closure_study().run(engine=engine)
+
+
+def test_failed_run_surfaces_as_error(tmp_path):
+    study = ScalingStudy(
+        app="nonexistent-app",
+        node_counts=[1],
+        networks=("ib",),
+        repetitions=1,
+    )
+    engine = CampaignEngine(root=tmp_path, workers=1)
+    with pytest.raises(ConfigurationError, match="campaign runs failed"):
+        study.run(engine=engine)
+
+
+def test_study_spec_expands_to_same_keys(tmp_path):
+    """CLI-facing CampaignSpec covers exactly the study's runs."""
+    from repro.campaign import study_runspecs
+
+    study = declarative_study()
+    spec = study_spec(study, name="ljs-study")
+    direct = study_runspecs(
+        app=study.app,
+        app_args=study.app_args,
+        node_counts=study.node_counts,
+        networks=study.networks,
+        ppns=study.ppns,
+        repetitions=study.repetitions,
+        seed_base=study.seed_base,
+    )
+    assert {s.key for s in spec.expand()} == {s.key for s in direct}
+
+
+def test_figure_through_engine_matches_serial(tmp_path):
+    from repro.core.figures import fig6_nas_cg
+
+    serial = fig6_nas_cg(quick=True)
+    engine = CampaignEngine(root=tmp_path, workers=4)
+    via_engine = fig6_nas_cg(quick=True, engine=engine)
+    assert [(s.label, s.x, s.y) for s in serial.series] == [
+        (s.label, s.x, s.y) for s in via_engine.series
+    ]

@@ -1,0 +1,40 @@
+"""Tests for CSV/dict export — including awkward labels."""
+
+import csv
+import io
+
+from repro.results import DataSeries, series_to_csv, series_to_dict
+
+
+def roundtrip(series_list):
+    return list(csv.reader(io.StringIO(series_to_csv(series_list))))
+
+
+def test_csv_plain_series():
+    s = DataSeries("elan", x=[1.0, 2.0], y=[3.0, 4.0],
+                   x_name="nodes", y_name="time")
+    rows = roundtrip([s])
+    assert rows[0] == ["series", "nodes", "time"]
+    assert rows[1] == ["elan", "1.0", "3.0"]
+    assert rows[2] == ["elan", "2.0", "4.0"]
+
+
+def test_csv_label_with_comma_quote_newline():
+    label = 'IB, "4X"\n(2 PPN)'
+    s = DataSeries(label, x=[1.0], y=[2.0])
+    rows = roundtrip([s])
+    # The label survives as exactly one field despite the delimiters.
+    assert rows[1] == [label, "1.0", "2.0"]
+    assert len(rows) == 2
+
+
+def test_csv_empty_series_list():
+    rows = roundtrip([])
+    assert rows == [["series", "x", "y"]]
+
+
+def test_dict_export_roundtrip():
+    s = DataSeries("a,b", x=[1.0], y=[2.0], x_name="n", y_name="t")
+    (d,) = series_to_dict([s])
+    assert d == {"label": "a,b", "x_name": "n", "y_name": "t",
+                 "x": [1.0], "y": [2.0]}

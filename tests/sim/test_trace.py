@@ -39,3 +39,27 @@ def test_clear():
     t.clear()
     assert len(t) == 0
     assert t.dropped == 0
+
+
+def test_summary_counts_categories_and_dropped():
+    t = Tracer(limit=4)
+    for i in range(3):
+        t.log(float(i), "rndv", "m")
+    t.log(3.0, "eager", "m")
+    t.log(4.0, "eager", "over limit")
+    s = t.summary()
+    assert s["total"] == 4
+    assert s["dropped"] == 1
+    assert s["by_category"] == {"eager": 1, "rndv": 3}
+
+
+def test_summary_empty_tracer():
+    assert Tracer().summary() == {"total": 0, "dropped": 0, "by_category": {}}
+
+
+def test_summary_is_json_ready():
+    import json
+
+    t = Tracer()
+    t.log(1.0, "a", "m")
+    assert json.loads(json.dumps(t.summary())) == t.summary()

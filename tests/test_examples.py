@@ -71,6 +71,12 @@ def test_npb_breadth_quick():
     assert "IB/Elan" in out
 
 
+def test_campaign_sweep_quick():
+    out = run_example("campaign_sweep.py", "--quick", "--workers", "2")
+    assert "100% hit rate" in out
+    assert "LAMMPS LJS study" in out
+
+
 def test_full_report_quick_subset():
     out = run_example(
         "full_report.py", "--quick", "--only", "table1,fig7", "--no-anchors"
