@@ -1,0 +1,77 @@
+"""Ping-pong under rising link BER: the recovery-protocol divergence.
+
+Not a paper figure — a robustness acceptance pass for the fault layer.
+The sweep asserts the headline shapes: Quadrics Elan-4's link-level
+hardware retry degrades latency smoothly with no MPI-visible failure at
+any swept BER, while 4X InfiniBand's end-to-end retransmit climbs in
+timeout steps and then cliffs into ``RetryExhaustedError`` once the
+per-QP retry budget is spent.  The BER=0 point must be bit-identical to
+a plan-less pristine run.
+"""
+
+from repro import FaultPlan, Machine, root_fault
+from repro.errors import RetryExhaustedError
+from repro.microbench.pingpong import pingpong_program
+
+SIZE = 8192
+BERS = [0.0, 1e-7, 1e-6, 1e-5]
+
+
+def _measure(network, ber, reps):
+    """Returns (latency_us | None, root-cause exception | None)."""
+    plan = FaultPlan(ber=ber) if ber > 0.0 else None
+    machine = Machine(network, n_nodes=2, seed=0, faults=plan)
+    try:
+        result = machine.run(
+            pingpong_program(SIZE, reps), max_events=20_000_000
+        )
+    except Exception as exc:  # noqa: BLE001 - the cliff is the datum
+        return None, root_fault(exc) or exc
+    return result.values[0], None
+
+
+def test_faults_pingpong(benchmark, quick):
+    reps = 10 if quick else 30
+
+    def sweep():
+        return {
+            network: [_measure(network, ber, reps) for ber in BERS]
+            for network in ("ib", "elan")
+        }
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(f"{'BER':>8}  {'4X InfiniBand':>16}  {'Quadrics Elan-4':>16}")
+    for i, ber in enumerate(BERS):
+        cells = []
+        for network in ("ib", "elan"):
+            latency, cause = curves[network][i]
+            cells.append(
+                f"{latency:13.2f} us" if latency is not None
+                else f"{type(cause).__name__:>16}"
+            )
+        print(f"{ber:>8g}  {cells[0]:>16}  {cells[1]:>16}")
+
+    ib, elan = curves["ib"], curves["elan"]
+
+    # Elan survives every BER, latency-only and smooth (< 2x end to end).
+    elan_lat = [latency for latency, _ in elan]
+    assert all(latency is not None for latency in elan_lat)
+    assert elan_lat[-1] >= elan_lat[0]
+    assert elan_lat[-1] / elan_lat[0] < 2.0
+
+    # IB climbs while it survives, then cliffs at retry exhaustion.
+    surviving = [latency for latency, _ in ib if latency is not None]
+    assert len(surviving) >= 2 and surviving[-1] > surviving[0]
+    cliff_causes = [cause for latency, cause in ib if latency is None]
+    assert cliff_causes, "expected an IB retry-exhaustion cliff in the sweep"
+    assert all(isinstance(c, RetryExhaustedError) for c in cliff_causes)
+    assert all(c.attempts == FaultPlan().ib_retry_count + 1 for c in cliff_causes)
+
+    # BER=0 is bit-identical to a pristine, plan-less machine.
+    for network in ("ib", "elan"):
+        pristine = Machine(network, n_nodes=2, seed=0).run(
+            pingpong_program(SIZE, reps)
+        )
+        assert curves[network][0][0] == pristine.values[0]

@@ -53,6 +53,7 @@ from .core import (
     check_all,
 )
 from .cost import cost_curves, elan4_cost, ib96_cost, ib_24_288_cost, system_cost_gap
+from .faults import FaultInjector, FaultPlan, root_fault
 from .microbench import run_beff, run_pingpong, run_streaming
 from .mpi import ANY_SOURCE, ANY_TAG, Communicator, Machine, MpiRank, RunResult
 from .networks.params import ELAN_4, IB_4X, ElanParams, IBParams
@@ -71,6 +72,9 @@ __all__ = [
     "ElanParams",
     "IB_4X",
     "ELAN_4",
+    "FaultPlan",
+    "FaultInjector",
+    "root_fault",
     "run_pingpong",
     "run_streaming",
     "run_beff",

@@ -47,6 +47,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         resume=not args.force,
         trace=args.trace,
         echo=None if args.quiet else (lambda m: print(m, file=sys.stderr)),
+        timeout_s=args.timeout,
+        max_events=args.max_events,
+        max_retries=args.max_retries,
     )
     result = engine.run(campaign, force=args.force)
     print(result.summary())
@@ -67,6 +70,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_status(args: argparse.Namespace) -> int:
     journal = Journal(f"{args.root}/journal.jsonl")
+    quarantine = Journal(f"{args.root}/quarantine.jsonl")
     cache = ResultCache(f"{args.root}/cache")
     entries = list(journal.entries())
     ok = [r for r in entries if r.get("status") == "ok"]
@@ -85,6 +89,14 @@ def cmd_status(args: argparse.Namespace) -> int:
         f"cache: {cache.count()} entries, "
         f"{cache.size_bytes() / 1024.0:.1f} KiB"
     )
+    quarantined = list(quarantine.entries())
+    if quarantined:
+        print(f"quarantine: {len(quarantined)} specs failed all retries")
+        for record in quarantined:
+            print(
+                f"  [quarantined] {record.get('label', record.get('key'))}: "
+                f"{record.get('error', 'unknown error')}"
+            )
     for record in journal.tail(args.tail):
         status = record.get("status", "?")
         flag = " (reused)" if record.get("reused") else ""
@@ -95,9 +107,11 @@ def cmd_status(args: argparse.Namespace) -> int:
 def cmd_clean(args: argparse.Namespace) -> int:
     cache = ResultCache(f"{args.root}/cache")
     journal = Journal(f"{args.root}/journal.jsonl")
+    quarantine = Journal(f"{args.root}/quarantine.jsonl")
     removed = cache.clear()
     journal.clear()
-    print(f"removed {removed} cache entries and the journal from {args.root}")
+    quarantine.clear()
+    print(f"removed {removed} cache entries and the journals from {args.root}")
     return 0
 
 
@@ -130,6 +144,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="run with tracing on and journal per-category record counts",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock budget; a hung run fails with a "
+        "WatchdogError naming the blocked ranks",
+    )
+    run.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-run simulated-event budget (runaway-program guard)",
+    )
+    run.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-execute failed runs up to N times before quarantining",
     )
     run.add_argument(
         "--values", action="store_true", help="print one JSON line per run"

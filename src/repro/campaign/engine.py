@@ -15,6 +15,15 @@ pure cache replay.  Duplicate points are collapsed before execution and
 every completion is journaled immediately, which is what makes a
 half-finished campaign resumable with no bookkeeping beyond the JSONL
 file.
+
+Robustness: a failing point never takes the campaign down.  Failed runs
+are retried up to ``max_retries`` times with exponential backoff; points
+that still fail are **quarantined** — their final error record lands in
+``quarantine.jsonl`` beside the journal, the remaining grid completes,
+and the invocation reports a nonzero error count.  ``timeout_s`` and
+``max_events`` bound each run via the simulator watchdog, and if the
+worker pool itself dies mid-campaign the engine falls back to executing
+the unfinished tail serially.
 """
 
 from __future__ import annotations
@@ -71,6 +80,10 @@ class CampaignResult:
     name: str = ""
     #: Tier tallies: {"cache": n, "journal": n, "run": n}.
     sources: Dict[str, int] = field(default_factory=dict)
+    #: Runs that exhausted their retry budget and were quarantined.
+    quarantined: int = 0
+    #: Failed executions that later succeeded on retry.
+    retried_ok: int = 0
 
     @property
     def total(self) -> int:
@@ -89,11 +102,16 @@ class CampaignResult:
 
     def summary(self) -> str:
         name = f"campaign {self.name!r}: " if self.name else ""
-        return (
+        text = (
             f"{name}{self.total} runs in {self.wall_s:.2f}s — "
             f"{self.hits} cached ({self.hit_rate * 100.0:.0f}% hit rate), "
             f"{self.misses} executed, {self.errors} errors"
         )
+        if self.quarantined:
+            text += f" ({self.quarantined} quarantined)"
+        if self.retried_ok:
+            text += f", {self.retried_ok} recovered on retry"
+        return text
 
 
 class CampaignEngine:
@@ -107,15 +125,35 @@ class CampaignEngine:
         resume: bool = True,
         trace: bool = False,
         echo: Optional[Callable[[str], None]] = None,
+        timeout_s: Optional[float] = None,
+        max_events: Optional[int] = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.25,
     ) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
+        if retry_backoff_s < 0:
+            raise ConfigurationError("retry_backoff_s cannot be negative")
         self.root = Path(root)
         self.workers = resolve_workers(workers)
         self.use_cache = use_cache
         self.resume = resume
         self.trace = trace
         self.echo = echo
+        #: Per-run wall-clock budget, armed as the simulator watchdog.
+        self.timeout_s = timeout_s
+        #: Per-run simulated-event budget (same watchdog).
+        self.max_events = max_events
+        #: Times a failed point is re-executed before quarantine.
+        self.max_retries = max_retries
+        #: Base of the exponential inter-retry sleep.
+        self.retry_backoff_s = retry_backoff_s
         self.cache = ResultCache(self.root / "cache")
         self.journal = Journal(self.root / "journal.jsonl")
+        #: Final error records of points that exhausted their retries.
+        self.quarantine = Journal(self.root / "quarantine.jsonl")
 
     def _say(self, message: str) -> None:
         if self.echo is not None:
@@ -165,21 +203,54 @@ class CampaignEngine:
                 to_run.append(spec)
                 pending.add(key)
 
-        errors = 0
-        for record in self._execute(to_run):
-            sources["run"] += 1
+        spec_by_key = {spec.key: spec for spec in to_run}
+        failed: List[RunSpec] = []
+
+        def absorb(record: Dict[str, Any], attempt: int) -> None:
+            if attempt:
+                record["retry"] = attempt
             by_key[record["key"]] = record
             if record.get("status") == "ok":
                 if self.use_cache:
                     self.cache.put(record["key"], record)
             else:
-                errors += 1
+                failed.append(spec_by_key[record["key"]])
             self.journal.append(record)
             status = "ok  " if record.get("status") == "ok" else "FAIL"
+            note = f" retry {attempt}/{self.max_retries}" if attempt else ""
             self._say(
                 f"{status} {record.get('label', record['key'])} "
-                f"({record.get('wall_s', 0.0):.2f}s)"
+                f"({record.get('wall_s', 0.0):.2f}s){note}"
             )
+
+        for record in self._execute(to_run):
+            sources["run"] += 1
+            absorb(record, attempt=0)
+
+        # Bounded retry with exponential backoff; whatever still fails
+        # afterwards is quarantined and the rest of the campaign stands.
+        retried_ok = 0
+        for attempt in range(1, self.max_retries + 1):
+            if not failed:
+                break
+            retrying, failed = failed, []
+            backoff = self.retry_backoff_s * (2 ** (attempt - 1))
+            if backoff:
+                time.sleep(backoff)
+            self._say(
+                f"retrying {len(retrying)} failed run(s), "
+                f"attempt {attempt}/{self.max_retries}"
+            )
+            for record in self._execute(retrying):
+                absorb(record, attempt=attempt)
+            retried_ok += len(retrying) - len(failed)
+
+        quarantined = 0
+        for spec in failed:
+            record = by_key[spec.key]
+            self.quarantine.append(record)
+            quarantined += 1
+            self._say(f"QUARANTINED {record.get('label', spec.key)}")
 
         records = [by_key[spec.key] for spec in specs]
         hits = sources["cache"] + sources["journal"]
@@ -187,24 +258,42 @@ class CampaignEngine:
             records=records,
             hits=hits,
             misses=sources["run"],
-            errors=errors,
+            errors=len(failed),
             wall_s=time.perf_counter() - t0,
             sources=sources,
+            quarantined=quarantined,
+            retried_ok=retried_ok,
         )
 
     def _execute(self, specs: List[RunSpec]):
         """Yield a record per spec as it completes (order unspecified)."""
         if not specs:
             return
-        run = partial(execute_run, trace=self.trace)
+        run = partial(
+            execute_run,
+            trace=self.trace,
+            timeout_s=self.timeout_s,
+            max_events=self.max_events,
+        )
         if self.workers <= 1 or len(specs) == 1:
             for spec in specs:
                 yield run(spec)
             return
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(self.workers, len(specs))) as pool:
-            # Unordered so each completion is journaled (and therefore
-            # resumable) the moment it lands; request order is restored
-            # by the caller via spec keys.
-            for record in pool.imap_unordered(run, specs, chunksize=1):
-                yield record
+        done = set()
+        try:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(self.workers, len(specs))) as pool:
+                # Unordered so each completion is journaled (and therefore
+                # resumable) the moment it lands; request order is restored
+                # by the caller via spec keys.
+                for record in pool.imap_unordered(run, specs, chunksize=1):
+                    done.add(record["key"])
+                    yield record
+        except Exception as exc:  # pool infrastructure died, not a run
+            self._say(
+                f"worker pool failed ({type(exc).__name__}: {exc}); "
+                f"finishing the remaining runs serially"
+            )
+            for spec in specs:
+                if spec.key not in done:
+                    yield run(spec)

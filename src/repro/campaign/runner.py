@@ -6,6 +6,14 @@ The simulator is deterministic for a fixed seed, so the record it
 returns is identical whether the run happens in the parent process, a
 pool worker, or a different campaign entirely — which is what makes the
 content-addressed cache sound.
+
+Robustness: failures never escape — every outcome becomes a journal
+record.  A ``timeout_s``/``max_events`` budget arms the simulator's
+watchdog, so a hung or runaway point is reported (with its blocked-rank
+roster) instead of wedging a worker.  Error records carry both the
+surfaced exception and the *root cause* dug out of the ``__cause__``
+chain — the difference between "process rank3 crashed" and
+"RetryExhaustedError on link up0".
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional
 
+from ..faults.recovery import root_fault
 from ..mpi import Machine
 from ..sim import Tracer
 from ..version import __version__
@@ -31,11 +40,19 @@ def scalar_value(values: List[Any]) -> Optional[float]:
     return float(max(numeric)) if numeric else None
 
 
-def execute_run(spec: RunSpec, trace: bool = False) -> Dict[str, Any]:
+def execute_run(
+    spec: RunSpec,
+    trace: bool = False,
+    timeout_s: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> Dict[str, Any]:
     """Run one spec on a fresh machine; always returns a journal record.
 
     Failures are captured as ``status: "error"`` records rather than
     raised, so one bad point can't take down a campaign (or a worker).
+    ``timeout_s`` bounds the run's wall-clock time and ``max_events`` its
+    event count via the simulator watchdog; a tripped budget produces an
+    error record naming the blocked ranks.
     """
     t0 = time.perf_counter()
     record: Dict[str, Any] = {
@@ -45,6 +62,7 @@ def execute_run(spec: RunSpec, trace: bool = False) -> Dict[str, Any]:
         "version": __version__,
     }
     tracer = Tracer(enabled=True) if trace else None
+    machine: Optional[Machine] = None
     try:
         machine = Machine(
             spec.network,
@@ -54,15 +72,29 @@ def execute_run(spec: RunSpec, trace: bool = False) -> Dict[str, Any]:
             fabric_radix=spec.fabric_radix,
             ib_progress_thread=spec.ib_progress_thread,
             trace=tracer,
+            faults=spec.fault_plan,
         )
-        result = machine.run(build_program(spec.app, spec.args))
+        result = machine.run(
+            build_program(spec.app, spec.args),
+            max_events=max_events,
+            wall_limit_s=timeout_s,
+        )
         record.update(
             status="ok",
             value=scalar_value(result.values),
             elapsed_us=result.elapsed_us,
         )
     except Exception as exc:  # noqa: BLE001 - isolate per-run failures
-        record.update(status="error", error=f"{type(exc).__name__}: {exc}")
+        cause = root_fault(exc) or exc
+        record.update(
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            error_type=type(cause).__name__,
+        )
+        if cause is not exc:
+            record["error_cause"] = f"{type(cause).__name__}: {cause}"
+    if machine is not None and machine.sim.faults is not None:
+        record["fault_stats"] = machine.sim.faults.stats()
     record["wall_s"] = time.perf_counter() - t0
     if tracer is not None:
         record["trace_summary"] = tracer.summary()

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from ..faults import FaultPlan
 from ..mpi.machine import NETWORKS
 from ..version import __version__
 
@@ -31,6 +32,9 @@ _RUN_FIELDS = ("app", "network", "nodes", "ppn", "fabric_radix", "ib_progress_th
 
 #: Prefix for sweeping application arguments, e.g. ``app_args.size``.
 _ARG_PREFIX = "app_args."
+
+#: Prefix for sweeping fault-plan knobs, e.g. ``fault.ber``.
+_FAULT_PREFIX = "fault."
 
 
 def _check_json_value(name: str, value: Any) -> None:
@@ -56,6 +60,10 @@ class RunSpec:
     fabric_radix: Optional[int] = None
     #: InfiniBand asynchronous progress thread (ablation knob).
     ib_progress_thread: bool = False
+    #: Fault-plan overrides as sorted ``(field, value)`` pairs — the
+    #: degraded-fabric axes (see :class:`repro.faults.FaultPlan`).  Empty
+    #: means a pristine machine (no injector attached at all).
+    faults: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.network not in NETWORKS:
@@ -68,11 +76,22 @@ class RunSpec:
             raise ConfigurationError("need at least one process per node")
         for name, value in self.app_args:
             _check_json_value(f"{_ARG_PREFIX}{name}", value)
+        for name, value in self.faults:
+            _check_json_value(f"{_FAULT_PREFIX}{name}", value)
+        # Validate knob names and ranges eagerly, at declaration time.
+        self.fault_plan
 
     @property
     def args(self) -> Dict[str, Any]:
         """Application arguments as a plain dict."""
         return dict(self.app_args)
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The run's :class:`~repro.faults.FaultPlan`, or ``None``."""
+        if not self.faults:
+            return None
+        return FaultPlan.from_dict(dict(self.faults))
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready canonical form (sorted app_args)."""
@@ -85,11 +104,13 @@ class RunSpec:
             "seed": self.seed,
             "fabric_radix": self.fabric_radix,
             "ib_progress_thread": self.ib_progress_thread,
+            "faults": dict(sorted(self.faults)),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
         args = data.get("app_args") or {}
+        faults = data.get("faults") or {}
         return cls(
             app=data["app"],
             network=data["network"],
@@ -99,6 +120,7 @@ class RunSpec:
             app_args=tuple(sorted(args.items())),
             fabric_radix=data.get("fabric_radix"),
             ib_progress_thread=bool(data.get("ib_progress_thread", False)),
+            faults=tuple(sorted(faults.items())),
         )
 
     @property
@@ -120,26 +142,37 @@ class RunSpec:
         """Compact human-readable identity for journals and logs."""
         args = ",".join(f"{k}={v}" for k, v in self.app_args)
         app = f"{self.app}({args})" if args else self.app
-        return f"{app} {self.network} {self.nodes}n x{self.ppn}ppn seed={self.seed}"
+        text = f"{app} {self.network} {self.nodes}n x{self.ppn}ppn seed={self.seed}"
+        if self.faults:
+            knobs = ",".join(f"{k}={v}" for k, v in self.faults)
+            text += f" faults[{knobs}]"
+        return text
 
 
 def _point_to_spec(point: Dict[str, Any], seed: int) -> RunSpec:
     """Build one RunSpec from a flat parameter dict (dotted app args)."""
     fields: Dict[str, Any] = {}
     args: Dict[str, Any] = {}
+    faults: Dict[str, Any] = {}
     for name, value in point.items():
         if name.startswith(_ARG_PREFIX):
             args[name[len(_ARG_PREFIX):]] = value
+        elif name.startswith(_FAULT_PREFIX):
+            faults[name[len(_FAULT_PREFIX):]] = value
         elif name == "app_args":
             if not isinstance(value, dict):
                 raise ConfigurationError("app_args must be a mapping")
             args.update(value)
+        elif name == "faults":
+            if not isinstance(value, dict):
+                raise ConfigurationError("faults must be a mapping")
+            faults.update(value)
         elif name in _RUN_FIELDS:
             fields[name] = value
         else:
             raise ConfigurationError(
                 f"unknown campaign parameter {name!r}; expected one of "
-                f"{_RUN_FIELDS} or {_ARG_PREFIX}<name>"
+                f"{_RUN_FIELDS}, {_ARG_PREFIX}<name> or {_FAULT_PREFIX}<knob>"
             )
     if "app" not in fields:
         raise ConfigurationError("every campaign point needs an 'app'")
@@ -147,7 +180,10 @@ def _point_to_spec(point: Dict[str, Any], seed: int) -> RunSpec:
         raise ConfigurationError("every campaign point needs a 'network'")
     fields.setdefault("nodes", 1)
     return RunSpec(
-        seed=seed, app_args=tuple(sorted(args.items())), **fields
+        seed=seed,
+        app_args=tuple(sorted(args.items())),
+        faults=tuple(sorted(faults.items())),
+        **fields,
     )
 
 

@@ -17,14 +17,46 @@ class SimulationError(ReproError):
     """Error in the discrete-event kernel (bad yields, double triggers...)."""
 
 
-class DeadlockError(SimulationError):
-    """Raised when the event queue drains while processes are still blocked."""
+def _format_roster(roster) -> str:
+    """Render a blocked-process roster as ``name (waiting on ...)`` lines."""
+    return "; ".join(f"{name} (waiting on {what})" for name, what in roster)
 
-    def __init__(self, blocked: int, message: str = "") -> None:
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    ``roster`` carries ``(process_name, waiting_description)`` pairs for
+    every blocked process, so the error message answers the only question
+    that matters when a protocol hangs: *who* is stuck, and on *what*.
+    """
+
+    def __init__(self, blocked: int, message: str = "", roster=None) -> None:
         self.blocked = blocked
+        self.roster = list(roster) if roster else []
         text = f"simulation deadlock: {blocked} process(es) still blocked"
+        if self.roster:
+            text = f"{text}: {_format_roster(self.roster)}"
         if message:
             text = f"{text}: {message}"
+        super().__init__(text)
+
+
+class WatchdogError(SimulationError):
+    """A run exceeded its event budget or wall-clock limit.
+
+    Raised by :meth:`repro.sim.Simulator.run` when a watchdog trips —
+    the defense against runaway or livelocked simulations in unattended
+    campaigns.  Carries the same blocked-process ``roster`` as
+    :class:`DeadlockError` plus the limit that was breached.
+    """
+
+    def __init__(self, reason: str, roster=None, sim_time: float = 0.0) -> None:
+        self.reason = reason
+        self.roster = list(roster) if roster else []
+        self.sim_time = sim_time
+        text = f"watchdog: {reason} at t={sim_time:.3f}us"
+        if self.roster:
+            text = f"{text}; live processes: {_format_roster(self.roster)}"
         super().__init__(text)
 
 
@@ -40,12 +72,32 @@ class RegistrationError(NetworkError):
     """Memory-registration failure in the InfiniBand HCA model."""
 
 
-class ConnectionError_(NetworkError):
-    """Queue-pair connection misuse in the InfiniBand model.
+class QueuePairError(NetworkError):
+    """Queue-pair connection misuse in the InfiniBand model."""
 
-    Named with a trailing underscore to avoid shadowing the builtin
-    :class:`ConnectionError`.
+
+#: Deprecated alias for :class:`QueuePairError`.  The old name shadowed
+#: the builtin :class:`ConnectionError` (hence the trailing underscore);
+#: kept for one release so downstream ``except ConnectionError_`` code
+#: keeps working.
+ConnectionError_ = QueuePairError
+
+
+class RetryExhaustedError(NetworkError):
+    """An InfiniBand reliable-connection transport gave up retransmitting.
+
+    The real HCA's per-QP timeout/retry-count machinery (end-to-end
+    recovery, in contrast to Elan-4's link-level hardware retry) raises
+    an asynchronous transport error after the retry budget is spent; this
+    is its model-visible equivalent.
     """
+
+    def __init__(
+        self, message: str, attempts: int = 0, link: str = ""
+    ) -> None:
+        self.attempts = attempts
+        self.link = link
+        super().__init__(message)
 
 
 class MpiError(ReproError):

@@ -1,0 +1,42 @@
+"""Deterministic fault injection and the recovery machinery it exercises.
+
+The paper compares two fabrics that differ as much in *how they recover*
+as in how fast they go: 4X InfiniBand reliable connections retransmit
+end-to-end with a per-QP timeout/retry counter (exhaustion surfaces as a
+transport error), while Elan-4 detects CRC errors at the link level and
+retries in NIC hardware — costing latency but invisible to MPI.  This
+package injects the faults (bit errors on links, transient NIC stalls,
+registration failures) and the NIC models implement the era-correct
+recovery.
+
+Everything is deterministic: a :class:`FaultPlan` is declarative and
+picklable, every random draw flows through named
+:class:`~repro.sim.rng.RngStreams` (one stream per link / NIC / cache,
+all under the ``fault.`` prefix), so the same seed and plan produce
+bit-identical runs, and a disabled plan draws *nothing* — golden
+no-fault results are unchanged.
+
+Quickstart::
+
+    from repro import Machine
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan(ber=1e-6)          # one bit error per ~125 KB per link
+    machine = Machine("elan", n_nodes=2, faults=plan)
+    # ... Elan absorbs the errors as link-level retry latency;
+    # the same plan on "ib" retransmits end-to-end and raises
+    # RetryExhaustedError once a message exceeds its retry budget.
+"""
+
+from ..errors import RetryExhaustedError
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .recovery import ib_retry_schedule, root_fault
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "RetryExhaustedError",
+    "ib_retry_schedule",
+    "root_fault",
+]

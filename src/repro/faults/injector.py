@@ -1,0 +1,142 @@
+"""The seeded fault injector: every bad thing comes from a named stream.
+
+One :class:`FaultInjector` is attached to a simulator (``sim.faults``)
+when its machine is built with an enabled :class:`~.plan.FaultPlan`.
+Model code asks it questions — "how many packets of this message got
+corrupted on link up3?", "does this thread dispatch stall?" — and every
+answer is drawn from a :class:`~repro.sim.rng.RngStreams` stream named
+after the mechanism *and* the component (``fault.ber.up3``,
+``fault.stall.hca2``, ``fault.reg.r1``).  Consequences:
+
+* same seed + same plan ⇒ bit-identical fault sequences;
+* streams are independent per link/NIC/rank, so adding a component does
+  not perturb the faults any other component sees;
+* all names live under the ``fault.`` prefix, disjoint from every
+  pre-existing stream — enabling faults cannot perturb the no-fault
+  randomness (jitter, b_eff patterns), and a zero rate draws nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict
+
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim import Simulator
+
+
+class FaultInjector:
+    """Draws deterministic fault decisions for one simulated machine."""
+
+    def __init__(self, sim: "Simulator", plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        #: Cache of per-packet-size corruption probabilities.
+        self._packet_prob: Dict[int, float] = {}
+        # -- statistics ----------------------------------------------------
+        self.corrupted_packets = 0
+        self.ib_retransmits = 0
+        self.ib_timeout_us = 0.0
+        self.elan_link_retries = 0
+        self.nic_stalls = 0
+        self.reg_faults = 0
+
+    def _stream(self, name: str):
+        return self.sim.rng.stream(f"fault.{name}")
+
+    # -- link bit errors ---------------------------------------------------
+
+    def packet_error_prob(self, nbytes: int) -> float:
+        """Corruption probability of one ``nbytes`` packet at plan BER."""
+        p = self._packet_prob.get(nbytes)
+        if p is None:
+            # 1 - (1-ber)^(8n), computed in log space for tiny BERs.
+            p = -math.expm1(8.0 * nbytes * math.log1p(-self.plan.ber))
+            self._packet_prob[nbytes] = p
+        return p
+
+    def packet_errors(self, link: str, nbytes: int, mtu: int) -> int:
+        """Corrupted-packet count for one message crossing ``link``.
+
+        The message is cut into MTU packets (plus one runt for the
+        remainder); each is corrupted independently at the plan's BER.
+        Zero-byte control messages still occupy one minimal packet.
+        """
+        if self.plan.ber <= 0.0:
+            return 0
+        nbytes = max(nbytes, 1)
+        full, rem = divmod(nbytes, mtu)
+        stream = self._stream(f"ber.{link}")
+        errors = 0
+        if full:
+            errors += int(stream.binomial(full, self.packet_error_prob(mtu)))
+        if rem:
+            errors += int(stream.random() < self.packet_error_prob(rem))
+        self.corrupted_packets += errors
+        return errors
+
+    def retry_errors(self, link: str, packets: int, mtu: int) -> int:
+        """Corrupted packets among ``packets`` link-level *retries*.
+
+        Used by the Elan model: retried packets cross the same wire and
+        can be corrupted again (full MTU each — retries resend whole
+        packets).  Draws from the same per-link stream.
+        """
+        if self.plan.ber <= 0.0 or packets <= 0:
+            return 0
+        stream = self._stream(f"ber.{link}")
+        errors = int(stream.binomial(packets, self.packet_error_prob(mtu)))
+        self.corrupted_packets += errors
+        return errors
+
+    # -- NIC stalls --------------------------------------------------------
+
+    def nic_stall(self, component: str) -> float:
+        """Stall duration (0 almost always) for one NIC operation.
+
+        ``component`` names the stalling engine, e.g. ``elan3`` for the
+        Elan thread processor of node 3 or ``hca0`` for node 0's HCA
+        doorbell/DMA path; each gets its own stream.
+        """
+        if self.plan.nic_stall_rate <= 0.0:
+            return 0.0
+        if self._stream(f"stall.{component}").random() < self.plan.nic_stall_rate:
+            self.nic_stalls += 1
+            return self.plan.nic_stall_us
+        return 0.0
+
+    # -- registration failures --------------------------------------------
+
+    def reg_failures(self, cache: str) -> int:
+        """Consecutive transient failures before one registration succeeds.
+
+        Returns a count in ``[0, reg_retry_budget]``; the budget value
+        means every attempt failed and the caller must raise
+        :class:`~repro.errors.RegistrationError`.  ``cache`` names the
+        per-rank registration cache (its stream).
+        """
+        if self.plan.reg_failure_rate <= 0.0:
+            return 0
+        stream = self._stream(f"reg.{cache}")
+        failures = 0
+        while failures < self.plan.reg_retry_budget:
+            if stream.random() >= self.plan.reg_failure_rate:
+                break
+            failures += 1
+        self.reg_faults += failures
+        return failures
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        """JSON-ready injected/recovered tallies for journals and tests."""
+        return {
+            "corrupted_packets": self.corrupted_packets,
+            "ib_retransmits": self.ib_retransmits,
+            "ib_timeout_us": self.ib_timeout_us,
+            "elan_link_retries": self.elan_link_retries,
+            "nic_stalls": self.nic_stalls,
+            "reg_faults": self.reg_faults,
+        }

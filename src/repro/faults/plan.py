@@ -1,0 +1,117 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is the campaign-sweepable description of *what goes
+wrong*: per-link bit-error rate, transient NIC stalls, and registration
+failures, plus the knobs of each technology's recovery machinery.  Every
+field is a JSON scalar so a plan rides inside a
+:class:`~repro.campaign.RunSpec` (``fault.``-prefixed dotted axes, the
+same convention as ``app_args.``) and crosses multiprocessing
+boundaries unchanged.
+
+The plan carries no randomness of its own — it only parameterizes the
+:class:`~.injector.FaultInjector`, whose draws come from named
+simulator RNG streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, and how each fabric is allowed to recover.
+
+    All rates are probabilities, all times microseconds.  The default
+    plan injects nothing (``enabled`` is False) and is guaranteed not to
+    consume a single random draw, so golden no-fault results stay
+    bit-identical.
+    """
+
+    #: Per-bit error probability on every link direction (uplink,
+    #: downlink, and inter-switch links of a two-level fabric).  An MTU
+    #: packet of ``b`` bytes is corrupted with probability
+    #: ``1 - (1 - ber)^(8b)``.
+    ber: float = 0.0
+    #: Probability that one NIC protocol operation (Elan thread-processor
+    #: dispatch, HCA doorbell/DMA start) hits a transient stall.
+    nic_stall_rate: float = 0.0
+    #: Duration of one NIC stall.
+    nic_stall_us: float = 25.0
+    #: Probability that one memory-registration attempt fails
+    #: transiently (IB pin-down path only; Elan has no host
+    #: registration to fail).
+    reg_failure_rate: float = 0.0
+    #: Consecutive registration failures tolerated before the model
+    #: raises :class:`~repro.errors.RegistrationError`.
+    reg_retry_budget: int = 3
+    #: First IB end-to-end retransmit timeout; doubles per retry
+    #: (``ib_timeout_multiplier``) like the real per-QP timer.
+    ib_retry_timeout_us: float = 75.0
+    #: IB transport retry budget.  The hardware counter is 3 bits, so 7
+    #: is the era-correct maximum.
+    ib_retry_count: int = 7
+    #: Exponential backoff multiplier for the IB retransmit timeout.
+    ib_timeout_multiplier: float = 2.0
+    #: Elan link-level retry turnaround: CRC detect + resend trigger per
+    #: corrupted packet, on top of the packet's re-serialization time.
+    elan_retry_turnaround_us: float = 0.4
+
+    def __post_init__(self) -> None:
+        for name in ("ber", "nic_stall_rate", "reg_failure_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1): {rate}"
+                )
+        for name in (
+            "nic_stall_us",
+            "ib_retry_timeout_us",
+            "elan_retry_turnaround_us",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.reg_retry_budget < 1:
+            raise ConfigurationError("reg_retry_budget must be >= 1")
+        if self.ib_retry_count < 0:
+            raise ConfigurationError("ib_retry_count must be >= 0")
+        if self.ib_timeout_multiplier < 1.0:
+            raise ConfigurationError("ib_timeout_multiplier must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault mechanism can actually fire."""
+        return (
+            self.ber > 0.0
+            or self.nic_stall_rate > 0.0
+            or self.reg_failure_rate > 0.0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready canonical form (field order)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Build a plan from a (possibly partial) field mapping."""
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan fields {sorted(unknown)}; "
+                f"valid: {sorted(valid)}"
+            )
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Compact non-default-fields summary for labels and journals."""
+        defaults = FaultPlan()
+        parts = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(defaults, f.name)
+        ]
+        return "FaultPlan(" + ", ".join(parts) + ")" if parts else "FaultPlan()"

@@ -1,0 +1,53 @@
+"""Recovery-protocol helpers shared by the NIC models and tools.
+
+The recovery *mechanisms* live where the hardware put them — end-to-end
+retransmit in the IB HCA model (:mod:`repro.networks.ib.hca`),
+link-level retry in the Elan NIC model (:mod:`repro.networks.elan.nic`).
+This module holds the pieces both the models and the analysis tools
+need: the IB timeout schedule and cause-chain inspection for surfaced
+fault errors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Type
+
+from ..errors import ReproError
+from .plan import FaultPlan
+
+
+def ib_retry_schedule(plan: FaultPlan) -> Iterator[float]:
+    """The IB per-QP retransmit timeout sequence for ``plan``.
+
+    Yields ``ib_retry_count`` timeouts, the first at
+    ``ib_retry_timeout_us`` and each subsequent one multiplied by
+    ``ib_timeout_multiplier`` — the exponential per-QP timer of the real
+    transport.  The sender burns one entry per lost delivery; when the
+    iterator is exhausted, so is the retry budget.
+    """
+    timeout = plan.ib_retry_timeout_us
+    for _ in range(plan.ib_retry_count):
+        yield timeout
+        timeout *= plan.ib_timeout_multiplier
+
+
+def root_fault(
+    exc: BaseException, kind: Type[BaseException] = ReproError
+) -> Optional[BaseException]:
+    """The deepest ``kind`` instance in ``exc``'s cause chain, if any.
+
+    A fault raised inside a simulated NIC engine surfaces wrapped in
+    :class:`~repro.errors.SimulationError` ("process X crashed"); tools
+    that care *why* — e.g. the degraded-fabric benchmark detecting
+    retry-budget exhaustion — walk the chain with this helper instead of
+    string-matching messages.
+    """
+    found: Optional[BaseException] = None
+    seen = set()
+    node: Optional[BaseException] = exc
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if isinstance(node, kind):
+            found = node
+        node = node.__cause__ or node.__context__
+    return found

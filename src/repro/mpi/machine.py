@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 from ..errors import ConfigurationError
 from ..fabric import CrossbarFabric, TwoLevelFabric
+from ..faults import FaultInjector, FaultPlan
 from ..hardware import Node, NodeSpec, POWEREDGE_1750
 from ..networks.elan import ElanNic
 from ..networks.ib import Hca
@@ -66,6 +67,7 @@ class Machine:
         fabric_radix: Optional[int] = None,
         ib_progress_thread: bool = False,
         trace: Optional["Tracer"] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if network not in NETWORKS:
             raise ConfigurationError(
@@ -85,6 +87,12 @@ class Machine:
         self.node_spec = node_spec
         self.ib_params = ib_params
         self.elan_params = elan_params
+        self.fault_plan = faults
+        # An injector is attached only when the plan can actually fire;
+        # a disabled plan leaves every model on its draw-free fast path,
+        # keeping no-fault results bit-identical to a plan-less machine.
+        if faults is not None and faults.enabled:
+            self.sim.faults = FaultInjector(self.sim, faults)
 
         net_params = ib_params if network == "ib" else elan_params
         if fabric_radix is not None:
@@ -143,12 +151,17 @@ class Machine:
         program: ProgramFactory,
         skip_init: bool = False,
         collect_stats: bool = False,
+        max_events: Optional[int] = None,
+        wall_limit_s: Optional[float] = None,
     ) -> RunResult:
         """Run ``program`` on every rank; returns timing and values.
 
         The measured span starts after MPI_Init and a synchronizing
         barrier (as the real benchmarks do) and ends when the slowest
-        rank's program returns.
+        rank's program returns.  ``max_events``/``wall_limit_s`` arm the
+        kernel watchdog (see :meth:`repro.sim.Simulator.run`) so a hung
+        program raises :class:`~repro.errors.WatchdogError` naming the
+        blocked ranks instead of spinning forever.
         """
         if self._used:
             raise ConfigurationError(
@@ -170,7 +183,7 @@ class Machine:
 
         for rank in range(n):
             self.sim.spawn(runner(rank), name=f"rank{rank}")
-        self.sim.run_all()
+        self.sim.run_all(max_events=max_events, wall_limit_s=wall_limit_s)
 
         start = max(s for s, _ in spans)
         end = max(e for _, e in spans)

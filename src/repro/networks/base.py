@@ -6,6 +6,13 @@ knows how to build the full pipeline for a payload: PCI-X out of host
 memory, the wire, PCI-X into the destination host.  Concrete subclasses
 add the protocol machinery (queue pairs and registration for InfiniBand,
 the thread processor and Tports matching for Elan-4).
+
+When a :class:`~repro.faults.FaultInjector` is attached to the simulator,
+:meth:`Nic.push` routes internode messages through the subclass's
+``_push_with_link_faults`` — where the two technologies' recovery
+protocols diverge: end-to-end retransmit for InfiniBand, link-level
+hardware retry for Elan-4.  With no injector (or zero BER) the pristine
+path runs unchanged and no randomness is consumed.
 """
 
 from __future__ import annotations
@@ -45,6 +52,9 @@ class NetRecord:
 
 class Nic:
     """Base class for both adapter models."""
+
+    #: Stream/label prefix for injected stalls of this NIC's engines.
+    _stall_component = "nic"
 
     def __init__(
         self,
@@ -107,16 +117,56 @@ class Nic:
         """Move ``size`` payload bytes to the destination host memory.
 
         Returns the delivery completion time.  Contention with every other
-        transfer sharing a bus, engine or link is exact.
+        transfer sharing a bus, engine or link is exact.  With link bit
+        errors injected, internode messages go through the technology's
+        recovery path instead (``_push_with_link_faults``).
         """
         if size < 0:
             raise NetworkError(f"negative payload size: {size}")
         self.messages_sent += 1
         self.bytes_sent += size
-        end = yield from transfer(
-            self.sim, self.payload_stages(dst_nic), size, chunk=self.chunk
-        )
+        stages = self.payload_stages(dst_nic)
+        faults = self.sim.faults
+        if (
+            faults is None
+            or faults.plan.ber <= 0.0
+            or dst_nic.node.node_id == self.node.node_id
+        ):
+            # Pristine path — also taken for NIC loopback, which never
+            # touches a wire.
+            end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+            return end
+        end = yield from self._push_with_link_faults(dst_nic, stages, size, faults)
         return end
+
+    def _push_with_link_faults(
+        self, dst_nic: "Nic", stages: List[Stage], size: int, faults
+    ) -> Generator[Event, Any, float]:
+        """Deliver one message across a lossy fabric (subclass recovery).
+
+        The base class assumes a lossless wire and simply transfers; the
+        technology models override this with their real recovery
+        machinery (IB end-to-end retransmit, Elan link-level retry).
+        """
+        end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+        return end
+
+    def _wire_links(self, dst_nic: "Nic") -> List[Stage]:
+        """The fabric link stages a message to ``dst_nic`` crosses."""
+        return self.fabric.wire_stages(self.node.node_id, dst_nic.node.node_id)
+
+    def _maybe_stall(self) -> Generator[Event, Any, None]:
+        """Injected transient engine stall (doorbell/DMA/thread dispatch)."""
+        faults = self.sim.faults
+        if faults is None:
+            return
+        component = f"{self._stall_component}{self.node.node_id}"
+        stall = faults.nic_stall(component)
+        if stall > 0.0:
+            self.sim.trace.log(
+                self.sim.now, "fault.stall", f"{component} stalls {stall:g}us"
+            )
+            yield self.sim.timeout(stall)
 
     # -- subclass interface ----------------------------------------------------
 

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Any, Dict, Generator
 from ...errors import NetworkError
 from ...hardware.node import Cpu, Node
 from ...mpi.matching import Envelope, MatchQueue
-from ...sim import Event
+from ...sim import Event, transfer
 from ..base import NetRecord, Nic
 from ..params import ElanParams
 
@@ -79,6 +79,8 @@ class _Probe:
 class ElanNic(Nic):
     """One Elan-4 adapter serving all ranks of its node."""
 
+    _stall_component = "elan"
+
     def __init__(
         self,
         sim: "Simulator",
@@ -109,6 +111,9 @@ class ElanNic(Nic):
         #: Unexpected payload bytes currently buffered in system memory.
         self.buffered_bytes = 0
         self.max_buffered_bytes = 0
+        #: Link-level hardware retries performed below this NIC (never
+        #: visible to MPI — the cost is latency only).
+        self.link_retries = 0
 
     # -- rank attach -----------------------------------------------------------
 
@@ -127,9 +132,13 @@ class ElanNic(Nic):
         ``cost_fn`` is evaluated *after* the thread is acquired so queue
         lengths reflect execution time; it returns ``(cost, effect_fn)``
         where ``effect_fn`` applies state changes and returns a value.
+        An injected offload-thread pause lands here — after the grant,
+        before the work — so it delays every queued operation behind it,
+        exactly how a stalled NIC processor hurts.
         """
         req = self.thread.request()
         yield req
+        yield from self._maybe_stall()
         cost, effect = cost_fn()
         if cost > 0.0:
             yield self.sim.timeout(cost)
@@ -141,6 +150,48 @@ class ElanNic(Nic):
     def _local_copy_time(self, size: int) -> float:
         """NIC DMA copying within host memory crosses PCI-X twice."""
         return 2.0 * size / self.node.spec.pcix_bandwidth
+
+    # -- link-level recovery ---------------------------------------------------
+
+    def _push_with_link_faults(
+        self, dst_nic, stages, size, faults
+    ) -> Generator[Event, Any, float]:
+        """Link-level CRC detect + immediate hardware retry (Elan-4).
+
+        Each QsNetII link checks packet CRCs in hardware and retries a
+        corrupted packet immediately, back-to-back — the error never
+        propagates past the link, so MPI sees only added latency.
+        Retried packets cross the same wire and can be corrupted again;
+        the loop drains geometrically.  The added time is charged after
+        the clean pipeline completes (retries serialize on the wire but
+        are invisible to the protocol layer above).
+        """
+        end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+        plan = faults.plan
+        extra = 0.0
+        retries = 0
+        for st in self._wire_links(dst_nic):
+            bad = faults.packet_errors(st.name, size, self.chunk)
+            while bad:
+                retries += bad
+                # One full-MTU re-serialization plus CRC-detect
+                # turnaround per retried packet.
+                extra += bad * (
+                    st.chunk_time(self.chunk) + plan.elan_retry_turnaround_us
+                )
+                bad = faults.retry_errors(st.name, bad, self.chunk)
+        if retries:
+            self.link_retries += retries
+            faults.elan_link_retries += retries
+            self.sim.trace.log(
+                self.sim.now,
+                "fault.elan.retry",
+                f"node{self.node.node_id}->node{dst_nic.node.node_id} "
+                f"size={size} link_retries={retries} extra={extra:.3f}us",
+            )
+            yield self.sim.timeout(extra)
+            end = self.sim.now
+        return end
 
     # -- transmit ------------------------------------------------------------------
 

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator, Set
 
-from ...errors import ConnectionError_, NetworkError
+from ...errors import NetworkError, QueuePairError, RetryExhaustedError
+from ...faults.recovery import ib_retry_schedule
 from ...hardware.node import Cpu, Node
-from ...sim import Event, Store
+from ...sim import Event, Store, transfer
 from ..base import NetRecord, Nic
 from ..params import IBParams
 from .memreg import RegistrationCache
@@ -33,6 +34,8 @@ WIRE_HEADER_BYTES = 48
 
 class Hca(Nic):
     """One HCA serving all ranks of its node."""
+
+    _stall_component = "hca"
 
     def __init__(
         self,
@@ -59,6 +62,8 @@ class Hca(Nic):
         #: Established queue pairs, as (local_rank, remote_rank) pairs.
         self._connections: Set[tuple] = set()
         self.qp_count = 0
+        #: End-to-end retransmissions performed by this HCA's transport.
+        self.retransmits = 0
 
     # -- per-rank plumbing ------------------------------------------------------
 
@@ -68,7 +73,9 @@ class Hca(Nic):
             raise NetworkError(f"rank {rank} already attached to HCA")
         inbox = Store(self.sim, name=f"ib.inbox{rank}")
         self._inboxes[rank] = inbox
-        self._reg_caches[rank] = RegistrationCache(self.sim, self.params)
+        self._reg_caches[rank] = RegistrationCache(
+            self.sim, self.params, name=f"r{rank}"
+        )
         return inbox
 
     def reg_cache(self, rank: int) -> RegistrationCache:
@@ -116,10 +123,13 @@ class Hca(Nic):
         polls — delivery is not MPI progress.
         """
         if not self.is_connected(local_rank, record.dst_rank):
-            raise ConnectionError_(
+            raise QueuePairError(
                 f"rank {local_rank} has no queue pair to rank {record.dst_rank}"
             )
         yield from cpu.busy(self.params.wqe_post, kind="mpi")
+        # Injected doorbell/DMA-engine stall: the WQE is posted but the
+        # HCA picks it up late (transient, invisible to the host).
+        yield from self._maybe_stall()
         done = Event(self.sim)
         self.sim.spawn(
             self._wire_proc(dst_hca, record, done),
@@ -150,10 +160,11 @@ class Hca(Nic):
         completion; the returned event fires then.
         """
         if not self.is_connected(local_rank, record.src_rank):
-            raise ConnectionError_(
+            raise QueuePairError(
                 f"rank {local_rank} has no queue pair to rank {record.src_rank}"
             )
         yield from cpu.busy(self.params.wqe_post, kind="mpi")
+        yield from self._maybe_stall()
         done = Event(self.sim)
         self.sim.spawn(
             self._read_proc(src_hca, record, done),
@@ -171,6 +182,55 @@ class Hca(Nic):
         end = yield from src_hca.push(self, record.size + WIRE_HEADER_BYTES)
         self._deliver(record)
         done.succeed(end)
+
+    # -- reliable-connection recovery ---------------------------------------------
+
+    def _push_with_link_faults(
+        self, dst_nic, stages, size, faults
+    ) -> "Generator[Event, Any, float]":
+        """End-to-end retransmit, the 4X InfiniBand recovery model.
+
+        A reliable connection detects loss at the *transport* level: any
+        corrupted packet invalidates the whole delivery attempt, the
+        sender's per-QP timer expires (exponential backoff), and the HCA
+        retransmits the full message.  Each attempt occupies the buses,
+        engines and links for its entire serialization — lost bandwidth
+        is paid for, exactly as on the real fabric.  When the retry
+        counter is exhausted the QP enters the error state, surfaced as
+        :class:`~repro.errors.RetryExhaustedError`.
+        """
+        plan = faults.plan
+        links = self._wire_links(dst_nic)
+        schedule = ib_retry_schedule(plan)
+        attempts = 0
+        while True:
+            end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+            attempts += 1
+            errors = sum(
+                faults.packet_errors(st.name, size, self.chunk) for st in links
+            )
+            if errors == 0:
+                return end
+            timeout = next(schedule, None)
+            if timeout is None:
+                raise RetryExhaustedError(
+                    f"IB transport retry budget ({plan.ib_retry_count}) "
+                    f"exhausted after {attempts} attempts sending {size} B "
+                    f"from node {self.node.node_id} to node "
+                    f"{dst_nic.node.node_id}",
+                    attempts=attempts,
+                    link=links[0].name if links else "",
+                )
+            self.retransmits += 1
+            faults.ib_retransmits += 1
+            faults.ib_timeout_us += timeout
+            self.sim.trace.log(
+                self.sim.now,
+                "fault.ib.retry",
+                f"node{self.node.node_id}->node{dst_nic.node.node_id} "
+                f"size={size} attempt={attempts} timeout={timeout:g}us",
+            )
+            yield self.sim.timeout(timeout)
 
     def _deliver(self, record: NetRecord) -> None:
         inbox = self._inboxes.get(record.dst_rank)

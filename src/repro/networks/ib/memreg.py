@@ -30,9 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover
 class RegistrationCache:
     """Per-process LRU cache of registered memory regions."""
 
-    def __init__(self, sim: "Simulator", params: "IBParams") -> None:
+    def __init__(
+        self, sim: "Simulator", params: "IBParams", name: str = ""
+    ) -> None:
         self.sim = sim
         self.params = params
+        #: Owner label (the rank), used to name the fault-injection stream.
+        self.name = name
         self._regions: "OrderedDict[Hashable, int]" = OrderedDict()
         self._bytes = 0
         # -- statistics ----------------------------------------------------
@@ -40,6 +44,7 @@ class RegistrationCache:
         self.misses = 0
         self.evictions = 0
         self.registered_pages_total = 0
+        self.transient_failures = 0
 
     # -- cost helpers -----------------------------------------------------------
 
@@ -53,6 +58,36 @@ class RegistrationCache:
     def deregister_cost(self, size: int) -> float:
         """Host time to unpin and deregister ``size`` bytes."""
         return self.params.dereg_base + self.params.dereg_per_page * self._pages(size)
+
+    def _injected_failures(self, cpu: Cpu) -> Generator[Event, Any, None]:
+        """Charge injected transient registration failures, if any.
+
+        Each failed ``ibv_reg_mr``-equivalent burns the base syscall cost
+        before erroring out; the caller then retries.  When every attempt
+        in the plan's budget fails, the region cannot be pinned and the
+        model raises :class:`~repro.errors.RegistrationError` — the
+        host-driven stack has no hardware below it to hide the fault,
+        unlike the Elan MMU path.
+        """
+        faults = self.sim.faults
+        if faults is None:
+            return
+        failures = faults.reg_failures(self.name)
+        if failures == 0:
+            return
+        self.transient_failures += failures
+        self.sim.trace.log(
+            self.sim.now,
+            "fault.reg",
+            f"cache {self.name}: {failures} transient registration failure(s)",
+        )
+        yield from cpu.busy(failures * self.params.reg_base, kind="mpi")
+        if failures >= faults.plan.reg_retry_budget:
+            raise RegistrationError(
+                f"memory registration failed {failures} consecutive times "
+                f"(budget {faults.plan.reg_retry_budget}) in cache "
+                f"{self.name or 'anonymous'}"
+            )
 
     # -- main entry point ----------------------------------------------------------
 
@@ -71,6 +106,7 @@ class RegistrationCache:
         size = max(size, 1)
         if size > self.params.reg_cache_bytes:
             # Region can never be cached: register and deregister every time.
+            yield from self._injected_failures(cpu)
             self.misses += 1
             self.registered_pages_total += self._pages(size)
             yield from cpu.busy(
@@ -84,6 +120,7 @@ class RegistrationCache:
             yield from cpu.busy(self.params.reg_cache_hit, kind="mpi")
             return
         # Miss (absent, or cached smaller than needed -> re-register).
+        yield from self._injected_failures(cpu)
         self.misses += 1
         cost = 0.0
         if cached is not None:

@@ -12,18 +12,34 @@ A run ends when the heap drains, when ``until`` is reached, or when a
 watched process finishes (``run(until_process=p)``).  Crashed processes
 abort the run unless someone explicitly joins them — silent process death is
 how protocol bugs hide.
+
+The kernel is hardened for unattended campaign use: ``run()`` takes an
+event budget and a wall-clock limit, and breaching either raises
+:class:`~repro.errors.WatchdogError` carrying a roster of the live
+processes and what each was blocked on — the same roster
+:class:`~repro.errors.DeadlockError` reports when the heap drains with
+processes still waiting.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional, Tuple
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import SimulationError, WatchdogError
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import ProcGen, Process
 from .rng import RngStreams
 from .trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultInjector
+
+#: How many events between wall-clock watchdog checks: rarely enough to
+#: stay off the hot path, often enough (< 1 ms of simulation work) that
+#: a hung run is caught promptly.
+_WALL_CHECK_INTERVAL = 2048
 
 
 class Simulator:
@@ -37,7 +53,15 @@ class Simulator:
         self.rng = RngStreams(seed)
         self.trace = trace if trace is not None else Tracer(enabled=False)
         self._crashed: List[Tuple[Process, BaseException]] = []
-        self._live_processes = 0
+        #: Live non-daemon processes in spawn order (dict as ordered set).
+        self._live: Dict[Process, None] = {}
+        #: Events processed since construction (the watchdog's budget
+        #: meter, and a cheap measure of simulation work done).
+        self.events_processed = 0
+        #: The machine builder attaches a :class:`~repro.faults.FaultInjector`
+        #: here when a fault plan is enabled; ``None`` means every model
+        #: takes its pristine, draw-free fast path.
+        self.faults: Optional["FaultInjector"] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -82,15 +106,37 @@ class Simulator:
         deadlock accounting — for service loops (e.g. a progress thread)
         that are *expected* to be blocked when the simulation quiesces.
         """
-        if not daemon:
-            self._live_processes += 1
         proc = Process(self, generator, name=name)
         if not daemon:
+            self._live[proc] = None
             proc.add_callback(self._process_done)
         return proc
 
-    def _process_done(self, _ev: Event) -> None:
-        self._live_processes -= 1
+    def _process_done(self, ev: Event) -> None:
+        # The fired event *is* the process (a Process is its own
+        # completion event).
+        self._live.pop(ev, None)  # type: ignore[arg-type]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def live_processes(self) -> int:
+        """Number of spawned non-daemon processes that have not finished."""
+        return len(self._live)
+
+    def blocked_roster(self) -> List[Tuple[str, str]]:
+        """``(name, waiting-on)`` for every live non-daemon process.
+
+        The payload of :class:`~repro.errors.DeadlockError` and
+        :class:`~repro.errors.WatchdogError`: enough to see at a glance
+        which rank hung and whether it was stuck on a resource, a store,
+        or a peer's protocol event.
+        """
+        return [(p.name, p.waiting_description()) for p in self._live]
+
+    def pending_events(self) -> int:
+        """Heap size; useful for tests asserting quiescence."""
+        return len(self._heap)
 
     # -- main loop ----------------------------------------------------------
 
@@ -98,15 +144,32 @@ class Simulator:
         self,
         until: Optional[float] = None,
         until_process: Optional[Process] = None,
+        max_events: Optional[int] = None,
+        wall_limit_s: Optional[float] = None,
     ) -> float:
         """Run until the heap drains, ``until`` is reached, or a process ends.
 
         Returns the simulation time at which the run stopped.  Raises the
         original exception of any crashed, un-joined process.
+
+        ``max_events`` bounds the number of events this *call* may
+        process and ``wall_limit_s`` bounds its real elapsed time; either
+        breach raises :class:`~repro.errors.WatchdogError` with the
+        blocked-process roster.  Both default to unlimited — the
+        watchdogs exist for unattended campaign runs, where a livelocked
+        model must kill one run, not the whole sweep.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
+        if max_events is not None and max_events < 1:
+            raise SimulationError(f"max_events must be >= 1: {max_events}")
+        if wall_limit_s is not None and wall_limit_s <= 0:
+            raise SimulationError(f"wall_limit_s must be > 0: {wall_limit_s}")
         self._running = True
+        budget = max_events
+        wall_deadline = (
+            time.perf_counter() + wall_limit_s if wall_limit_s is not None else None
+        )
         try:
             while self._heap:
                 if self._crashed:
@@ -116,6 +179,24 @@ class Simulator:
                     ) from exc
                 if until_process is not None and until_process.triggered:
                     break
+                if budget is not None:
+                    if budget <= 0:
+                        raise WatchdogError(
+                            f"event budget of {max_events} exhausted",
+                            roster=self.blocked_roster(),
+                            sim_time=self._now,
+                        )
+                    budget -= 1
+                if (
+                    wall_deadline is not None
+                    and self.events_processed % _WALL_CHECK_INTERVAL == 0
+                    and time.perf_counter() > wall_deadline
+                ):
+                    raise WatchdogError(
+                        f"wall-clock limit of {wall_limit_s}s exceeded",
+                        roster=self.blocked_roster(),
+                        sim_time=self._now,
+                    )
                 t, _seq, event = heapq.heappop(self._heap)
                 if until is not None and t > until:
                     # Put it back: the caller may resume later.
@@ -123,6 +204,7 @@ class Simulator:
                     self._now = until
                     break
                 self._now = t
+                self.events_processed += 1
                 event._fire()
             else:
                 if self._crashed:
@@ -136,25 +218,24 @@ class Simulator:
             self._running = False
         return self._now
 
-    def run_all(self) -> float:
+    def run_all(
+        self,
+        max_events: Optional[int] = None,
+        wall_limit_s: Optional[float] = None,
+    ) -> float:
         """Run to quiescence and verify no process is left blocked.
 
         Raises :class:`~repro.errors.DeadlockError` if live processes remain
         after the heap drains — the standard way integration tests catch
-        protocol deadlocks (e.g. a rendezvous CTS that never arrives).
+        protocol deadlocks (e.g. a rendezvous CTS that never arrives).  The
+        error names each blocked process and what it was waiting on.
+        Watchdog limits are forwarded to :meth:`run`.
         """
         from ..errors import DeadlockError
 
-        end = self.run()
-        if self._live_processes > 0:
-            raise DeadlockError(self._live_processes)
+        end = self.run(max_events=max_events, wall_limit_s=wall_limit_s)
+        if self._live:
+            raise DeadlockError(
+                len(self._live), roster=self.blocked_roster()
+            )
         return end
-
-    @property
-    def live_processes(self) -> int:
-        """Number of spawned processes that have not yet finished."""
-        return self._live_processes
-
-    def pending_events(self) -> int:
-        """Heap size; useful for tests asserting quiescence."""
-        return len(self._heap)

@@ -100,6 +100,15 @@ class Event:
             for cb in callbacks:
                 cb(self)
 
+    def describe(self) -> str:
+        """Human-readable description for blocked-process rosters.
+
+        Subclasses that know *what* they wait for (a timeout delay, a
+        resource, a store) override this; the watchdog and deadlock
+        reporters use it to say what a stuck process was blocked on.
+        """
+        return type(self).__name__
+
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Attach ``cb``; runs immediately via the queue if already fired."""
         if self.callbacks is None:
@@ -131,6 +140,9 @@ class Timeout(Event):
         self._scheduled = True
         sim._schedule_event(self, delay)
 
+    def describe(self) -> str:
+        return f"Timeout({self.delay:g}us)"
+
 
 class AllOf(Event):
     """Composite event that fires when all child events have fired.
@@ -161,6 +173,10 @@ class AllOf(Event):
         if self._remaining == 0:
             self.succeed([c._value for c in self._children])
 
+    def describe(self) -> str:
+        waiting = [c.describe() for c in self._children if not c.triggered]
+        return f"AllOf[{', '.join(waiting)}]"
+
 
 class AnyOf(Event):
     """Composite event that fires when the first child event fires.
@@ -188,3 +204,6 @@ class AnyOf(Event):
                 self.succeed((index, ev._value))
 
         return _cb
+
+    def describe(self) -> str:
+        return f"AnyOf[{', '.join(c.describe() for c in self._children)}]"

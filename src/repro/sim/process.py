@@ -58,6 +58,17 @@ class Process(Event):
         """True while the generator has not finished."""
         return not self.triggered
 
+    def describe(self) -> str:
+        return f"process {self.name!r}"
+
+    def waiting_description(self) -> str:
+        """What this process is currently blocked on (for rosters)."""
+        if self.triggered:
+            return "finished"
+        if self._waiting_on is None:
+            return "startup (not yet resumed)"
+        return self._waiting_on.describe()
+
     def _resume(self, ev: Event) -> None:
         """Advance the generator with the value (or exception) of ``ev``."""
         if self.triggered:

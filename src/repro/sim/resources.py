@@ -23,6 +23,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from .engine import Simulator
 
 
+class ResourceRequest(Event):
+    """The grant event of one :meth:`FifoResource.request` call."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: "Simulator", resource: "FifoResource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+    def describe(self) -> str:
+        name = self.resource.name or "anonymous"
+        return f"resource {name}"
+
+
+class StoreGet(Event):
+    """The delivery event of one :meth:`Store.get` call."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, sim: "Simulator", store: "Store") -> None:
+        super().__init__(sim)
+        self.store = store
+
+    def describe(self) -> str:
+        name = self.store.name or "anonymous"
+        return f"store {name}"
+
+
 class FifoResource:
     """A resource with ``capacity`` slots granted in request order."""
 
@@ -50,7 +78,7 @@ class FifoResource:
         The event's value is the request time, so callers can compute their
         own queueing delay; :attr:`total_wait_time` accumulates it globally.
         """
-        ev = Event(self.sim)
+        ev = ResourceRequest(self.sim, self)
         if self._in_use < self.capacity and not self._waiters:
             self._grant(ev, self.sim.now)
         else:
@@ -138,7 +166,7 @@ class Store:
 
     def get(self) -> Event:
         """Event delivering the oldest item (immediately if available)."""
-        ev = Event(self.sim)
+        ev = StoreGet(self.sim, self)
         if self._items:
             ev.succeed(self._items.popleft())
         else:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConnectionError_, NetworkError
+from repro.errors import ConnectionError_, NetworkError, QueuePairError
 from repro.fabric import CrossbarFabric
 from repro.hardware import Node
 from repro.networks.base import NetRecord
@@ -37,7 +37,12 @@ def test_rdma_without_connection_rejected():
     sim.spawn(proc())
     with pytest.raises(Exception) as ei:
         sim.run()
-    assert isinstance(ei.value.__cause__, ConnectionError_)
+    assert isinstance(ei.value.__cause__, QueuePairError)
+
+
+def test_connection_error_alias_still_works():
+    # Deprecated name, kept for one release.
+    assert ConnectionError_ is QueuePairError
 
 
 def test_connect_pays_setup_once():

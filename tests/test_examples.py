@@ -71,6 +71,13 @@ def test_npb_breadth_quick():
     assert "IB/Elan" in out
 
 
+def test_degraded_fabric_quick():
+    out = run_example("degraded_fabric.py", "--quick")
+    assert "retry budget exhausted" in out
+    assert "link retries" in out
+    assert "BER=0 reproduces the pristine run exactly: True" in out
+
+
 def test_campaign_sweep_quick():
     out = run_example("campaign_sweep.py", "--quick", "--workers", "2")
     assert "100% hit rate" in out
