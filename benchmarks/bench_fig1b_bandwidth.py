@@ -3,7 +3,32 @@
 from conftest import emit
 
 from repro.core.figures import fig1b_bandwidth
+from repro.microbench.pingpong import pingpong_program
+from repro.mpi import Machine
+from repro.telemetry import Telemetry
 from repro.units import KiB, MiB
+
+
+def _regcache_misses(size: int, repetitions: int) -> int:
+    """Aggregate pin-down cache misses of one IB ping-pong run."""
+    machine = Machine("ib", 2, seed=0, telemetry=Telemetry(metrics=True))
+    machine.run(pingpong_program(size=size, repetitions=repetitions))
+    return int(machine.metrics()["mvapich.reg_cache.misses"])
+
+
+def test_fig1b_regcache_thrash_counter():
+    """The 4 MB dip *is* registration-cache thrash — per the counters.
+
+    Steady-state misses (the delta between two repetition counts, which
+    cancels the cold first-touch misses) are non-zero at 4 MB, where the
+    two ping-pong buffers per rank (8 MB) overflow the 6 MB cache, and
+    exactly zero at 1 MB, where the 2 MB working set fits.
+    """
+    thrash = _regcache_misses(4 * MiB, 10) - _regcache_misses(4 * MiB, 4)
+    assert thrash > 0
+    assert _regcache_misses(4 * MiB, 4) > 0
+    fits = _regcache_misses(1 * MiB, 10) - _regcache_misses(1 * MiB, 4)
+    assert fits == 0
 
 
 def test_fig1b_bandwidth(benchmark, quick):

@@ -57,6 +57,7 @@ from .faults import FaultInjector, FaultPlan, root_fault
 from .microbench import run_beff, run_pingpong, run_streaming
 from .mpi import ANY_SOURCE, ANY_TAG, Communicator, Machine, MpiRank, RunResult
 from .networks.params import ELAN_4, IB_4X, ElanParams, IBParams
+from .telemetry import MetricsRegistry, Telemetry
 from .version import PAPER, __version__
 
 __all__ = [
@@ -75,6 +76,8 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "root_fault",
+    "Telemetry",
+    "MetricsRegistry",
     "run_pingpong",
     "run_streaming",
     "run_beff",

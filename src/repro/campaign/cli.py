@@ -54,17 +54,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = engine.run(campaign, force=args.force)
     print(result.summary())
     if args.values:
+        metric_cols = args.metric or []
         for record in result.records:
-            print(
-                json.dumps(
-                    {
-                        "label": record.get("label"),
-                        "status": record.get("status"),
-                        "value": record.get("value"),
-                        "elapsed_us": record.get("elapsed_us"),
-                    }
-                )
-            )
+            row = {
+                "label": record.get("label"),
+                "status": record.get("status"),
+                "value": record.get("value"),
+                "elapsed_us": record.get("elapsed_us"),
+            }
+            metrics = record.get("metrics") or {}
+            for name in metric_cols:
+                row[name] = metrics.get(name)
+            print(json.dumps(row))
     return 1 if result.errors else 0
 
 
@@ -169,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--values", action="store_true", help="print one JSON line per run"
+    )
+    run.add_argument(
+        "--metric",
+        action="append",
+        metavar="NAME",
+        help="with --values, add this telemetry metric as a column "
+        "(repeatable; e.g. mvapich.reg_cache.misses)",
     )
     run.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional
 from ..faults.recovery import root_fault
 from ..mpi import Machine
 from ..sim import Tracer
+from ..telemetry import Telemetry
 from ..version import __version__
 from .programs import build_program
 from .spec import RunSpec
@@ -73,6 +74,10 @@ def execute_run(
             ib_progress_thread=spec.ib_progress_thread,
             trace=tracer,
             faults=spec.fault_plan,
+            # Metrics are deterministic, cheap and picklable; every
+            # campaign record carries them (timeline stays off — spans
+            # are bulky and reconstructable by re-running with tracing).
+            telemetry=Telemetry(metrics=True, timeline=False),
         )
         result = machine.run(
             build_program(spec.app, spec.args),
@@ -93,6 +98,8 @@ def execute_run(
         )
         if cause is not exc:
             record["error_cause"] = f"{type(cause).__name__}: {cause}"
+    if machine is not None:
+        record["metrics"] = machine.metrics()
     if machine is not None and machine.sim.faults is not None:
         record["fault_stats"] = machine.sim.faults.stats()
     record["wall_s"] = time.perf_counter() - t0

@@ -76,13 +76,6 @@ class QueuePairError(NetworkError):
     """Queue-pair connection misuse in the InfiniBand model."""
 
 
-#: Deprecated alias for :class:`QueuePairError`.  The old name shadowed
-#: the builtin :class:`ConnectionError` (hence the trailing underscore);
-#: kept for one release so downstream ``except ConnectionError_`` code
-#: keeps working.
-ConnectionError_ = QueuePairError
-
-
 class RetryExhaustedError(NetworkError):
     """An InfiniBand reliable-connection transport gave up retransmitting.
 

@@ -19,6 +19,9 @@ from ..networks.elan import ElanNic
 from ..networks.ib import Hca
 from ..networks.params import ELAN_4, IB_4X, ElanParams, IBParams
 from ..sim import Simulator, Tracer
+from ..telemetry import Telemetry
+from ..telemetry.chrome import chrome_trace, write_chrome_trace
+from ..telemetry.collect import snapshot
 from .api import MpiRank
 from .communicator import Communicator
 from .context import RankContext
@@ -45,6 +48,9 @@ class RunResult:
     rank_spans: List[tuple]
     #: Per-rank implementation statistics.
     impl_stats: List[dict] = field(default_factory=list)
+    #: Flat telemetry snapshot (empty unless the machine was built with
+    #: an enabled :class:`~repro.telemetry.Telemetry`).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def elapsed_s(self) -> float:
@@ -68,6 +74,7 @@ class Machine:
         ib_progress_thread: bool = False,
         trace: Optional["Tracer"] = None,
         faults: Optional[FaultPlan] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if network not in NETWORKS:
             raise ConfigurationError(
@@ -83,7 +90,7 @@ class Machine:
         self.n_nodes = n_nodes
         self.ppn = ppn
         self.n_ranks = n_nodes * ppn
-        self.sim = Simulator(seed=seed, trace=trace)
+        self.sim = Simulator(seed=seed, trace=trace, telemetry=telemetry)
         self.node_spec = node_spec
         self.ib_params = ib_params
         self.elan_params = elan_params
@@ -197,6 +204,25 @@ class Machine:
             values=values,
             rank_spans=spans,
             impl_stats=stats,
+            metrics=self.metrics() if self.sim.telemetry.enabled else {},
+        )
+
+    # -- telemetry -----------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Flat, sorted snapshot of every metric and resource statistic."""
+        return snapshot(self.sim)
+
+    def chrome_trace(self, label: str = "") -> dict:
+        """The run as a Chrome ``trace_event`` document (JSON-ready)."""
+        return chrome_trace(
+            self.sim, tracer=self.sim.trace, label=label or self.label
+        )
+
+    def write_chrome_trace(self, path, label: str = "") -> dict:
+        """Write :meth:`chrome_trace` to ``path``; returns the document."""
+        return write_chrome_trace(
+            path, self.sim, tracer=self.sim.trace, label=label or self.label
         )
 
     def memory_footprint_per_process(self) -> int:

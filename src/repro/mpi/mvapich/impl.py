@@ -110,6 +110,18 @@ class MvapichImpl(MpiImpl):
             self.independent_progress = True
         #: rank -> (context, HCA); filled by the machine builder.
         self._ranks: Dict[int, Tuple[RankContext, Hca]] = {}
+        # Machine-wide protocol counters (per-rank splits remain in
+        # finalize_stats); no-ops when telemetry is disabled.
+        m = sim.metrics
+        self._c_eager = m.counter("mvapich.eager_sends")
+        self._c_rndv = m.counter("mvapich.rndv_sends")
+        self._c_rts = m.counter("mvapich.rts_sent")
+        self._c_cts = m.counter("mvapich.cts_sent")
+        self._c_fin = m.counter("mvapich.fin_sent")
+        self._c_match = m.counter("mvapich.match_attempts")
+        self._c_match_searched = m.counter("mvapich.match_elements_searched")
+        self._c_credit_stalls = m.counter("mvapich.credit_stalls")
+        self._c_unexpected = m.counter("mvapich.unexpected_msgs")
 
     # -- wiring -------------------------------------------------------------
 
@@ -175,6 +187,7 @@ class MvapichImpl(MpiImpl):
         )
         if size <= self.params.eager_threshold:
             state.eager_sends += 1
+            self._c_eager.inc()
             # Flow control: an eager send needs a free slot in the
             # destination's per-sender ring.  When the ring is full (the
             # receiver has not been in the library to drain it), the
@@ -193,6 +206,8 @@ class MvapichImpl(MpiImpl):
             return req
         # Rendezvous.
         state.rndv_sends += 1
+        self._c_rndv.inc()
+        self._c_rts.inc()
         state.send_seq += 1
         send_id = (ctx.rank << 24) + state.send_seq
         key = buf if buf is not None else ("send", ctx.rank, dest)
@@ -313,6 +328,7 @@ class MvapichImpl(MpiImpl):
             req, searched = state.posted.find_for_incoming(incoming)
             if req is None:
                 state.unexpected.append(incoming, record)
+                self._c_unexpected.inc()
                 yield from self._charge_match(ctx, searched)
                 # Copy out of the ring into the unexpected buffer.
                 yield from ctx.node.host_copy(record.size)
@@ -328,6 +344,7 @@ class MvapichImpl(MpiImpl):
             req, searched = state.posted.find_for_incoming(incoming)
             if req is None:
                 state.unexpected.append(incoming, record)
+                self._c_unexpected.inc()
                 yield from self._charge_match(ctx, searched)
             else:
                 yield from self._charge_match(ctx, searched)
@@ -359,6 +376,7 @@ class MvapichImpl(MpiImpl):
                 tag=record.tag,
                 meta=send_id,
             )
+            self._c_fin.inc()
             yield from hca.rdma_write(
                 ctx.cpu, ctx.rank, self._peer_hca(record.src_rank), fin
             )
@@ -386,6 +404,7 @@ class MvapichImpl(MpiImpl):
         state: _MvState = ctx.impl_state
         while state.credits_to(dest) <= 0:
             state.credit_stalls += 1
+            self._c_credit_stalls.inc()
             waiter = state.credit_waiters.get(dest)
             if waiter is None or waiter.processed:
                 waiter = Event(self.sim)
@@ -424,6 +443,8 @@ class MvapichImpl(MpiImpl):
     def _charge_match(
         self, ctx: RankContext, searched: int
     ) -> Generator[Event, Any, None]:
+        self._c_match.inc()
+        self._c_match_searched.inc(searched)
         cost = (
             self.params.host_match_base
             + self.params.host_match_per_element * searched
@@ -492,6 +513,7 @@ class MvapichImpl(MpiImpl):
             tag=rts.tag,
             meta=send_id,
         )
+        self._c_cts.inc()
         yield from hca.rdma_write(
             ctx.cpu, ctx.rank, self._peer_hca(rts.src_rank), cts
         )

@@ -62,6 +62,12 @@ class QMpiImpl(MpiImpl):
         self.sim = sim
         self.params = params
         self._ranks: Dict[int, Tuple[RankContext, ElanNic]] = {}
+        # Machine-wide protocol counters; no-ops when telemetry is disabled.
+        m = sim.metrics
+        self._c_tx = m.counter("qmpi.tx")
+        self._c_rx = m.counter("qmpi.rx")
+        self._c_hw_barriers = m.counter("qmpi.hw_barriers")
+        self._c_hw_bcasts = m.counter("qmpi.hw_bcasts")
         #: Hardware-collective bookkeeping (see :meth:`hw_barrier`).
         self._hw_barriers: Dict[tuple, _HwBarrier] = {}
         self._hw_seqs: Dict[tuple, Dict[int, int]] = {}
@@ -101,6 +107,7 @@ class QMpiImpl(MpiImpl):
         del buf  # no registration concept: the Elan MMU translates on the fly
         state: _QState = ctx.impl_state
         state.tx_count += 1
+        self._c_tx.inc()
         ctx.sends += 1
         ctx.bytes_sent += size
         nic = self._ranks[ctx.rank][1]
@@ -121,6 +128,7 @@ class QMpiImpl(MpiImpl):
         del buf
         state: _QState = ctx.impl_state
         state.rx_count += 1
+        self._c_rx.inc()
         ctx.recvs += 1
         nic = self._ranks[ctx.rank][1]
         handle = nic.post_rx(ctx.cpu, ctx.rank, source, tag, size)
@@ -188,6 +196,7 @@ class QMpiImpl(MpiImpl):
         bar.arrived += 1
         if bar.arrived == bar.expected:
             del self._hw_barriers[key]
+            self._c_hw_barriers.inc()
             self.sim.spawn(
                 _succeed_after(self.sim, self.params.hw_barrier_latency, bar.done),
                 name="elan.hwbar",
@@ -216,6 +225,7 @@ class QMpiImpl(MpiImpl):
         if bar.arrived == bar.expected:
             root_ctx, size = self._hw_pending_roots.pop(key)
             del self._hw_barriers[key]
+            self._c_hw_bcasts.inc()
             self.sim.spawn(
                 self._hw_bcast_root(root_ctx, comm, size, bar.done),
                 name="elan.hwbc",

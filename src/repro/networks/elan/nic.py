@@ -114,6 +114,10 @@ class ElanNic(Nic):
         #: Link-level hardware retries performed below this NIC (never
         #: visible to MPI — the cost is latency only).
         self.link_retries = 0
+        self._c_match_attempts = sim.metrics.counter("elan.thread.match_attempts")
+        self._h_match_cost = sim.metrics.histogram("elan.thread.match_cost_us")
+        self._c_unexpected = sim.metrics.counter("elan.thread.unexpected_parked")
+        self._c_link_retries = sim.metrics.counter("elan.link.crc_retries")
 
     # -- rank attach -----------------------------------------------------------
 
@@ -151,6 +155,19 @@ class ElanNic(Nic):
         """NIC DMA copying within host memory crosses PCI-X twice."""
         return 2.0 * size / self.node.spec.pcix_bandwidth
 
+    def _note_match(self, searched: int) -> float:
+        """Account one NIC-thread matching attempt; returns its cost.
+
+        Centralizes the base + per-element cost formula so every match
+        site (posted receive, eager arrival, probe arrival) feeds the
+        same telemetry: attempt count and per-attempt cost distribution.
+        """
+        p = self.params
+        cost = p.thread_match_base + p.thread_match_per_element * searched
+        self._c_match_attempts.inc()
+        self._h_match_cost.observe(cost)
+        return cost
+
     # -- link-level recovery ---------------------------------------------------
 
     def _push_with_link_faults(
@@ -182,6 +199,7 @@ class ElanNic(Nic):
                 bad = faults.retry_errors(st.name, bad, self.chunk)
         if retries:
             self.link_retries += retries
+            self._c_link_retries.inc(retries)
             faults.elan_link_retries += retries
             self.sim.trace.log(
                 self.sim.now,
@@ -327,7 +345,7 @@ class ElanNic(Nic):
         def cost_fn():
             # Search unexpected first (MPI ordering), then park in posted.
             item, searched = unexpected.find_for_posting(posting)
-            cost = p.thread_match_base + p.thread_match_per_element * searched
+            cost = self._note_match(searched)
             if item is None:
                 def effect():
                     posted.append(posting, handle)
@@ -373,7 +391,7 @@ class ElanNic(Nic):
 
         def cost_fn():
             handle, searched = posted.find_for_incoming(incoming)
-            cost = p.thread_match_base + p.thread_match_per_element * searched
+            cost = self._note_match(searched)
             if handle is not None:
                 cost += p.thread_dma_setup
 
@@ -383,6 +401,7 @@ class ElanNic(Nic):
 
             def effect():
                 # Park payload in the Tports system buffer.
+                self._c_unexpected.inc()
                 self.buffered_bytes += record.size
                 if self.buffered_bytes > self.max_buffered_bytes:
                     self.max_buffered_bytes = self.buffered_bytes
@@ -410,14 +429,14 @@ class ElanNic(Nic):
         incoming = Envelope(record.src_rank, record.tag)
         posted = self._posted[record.dst_rank]
         unexpected = self._unexpected[record.dst_rank]
-        p = self.params
 
         def cost_fn():
             handle, searched = posted.find_for_incoming(incoming)
-            cost = p.thread_match_base + p.thread_match_per_element * searched
+            cost = self._note_match(searched)
 
             def effect():
                 if handle is None:
+                    self._c_unexpected.inc()
                     unexpected.append(incoming, probe)
                 return handle
             return cost, effect

@@ -64,6 +64,10 @@ class Hca(Nic):
         self.qp_count = 0
         #: End-to-end retransmissions performed by this HCA's transport.
         self.retransmits = 0
+        self._c_retransmits = sim.metrics.counter("mvapich.transport.retransmits")
+        self._c_timeout_us = sim.metrics.counter(
+            "mvapich.transport.timeout_backoff_us"
+        )
 
     # -- per-rank plumbing ------------------------------------------------------
 
@@ -222,6 +226,8 @@ class Hca(Nic):
                     link=links[0].name if links else "",
                 )
             self.retransmits += 1
+            self._c_retransmits.inc()
+            self._c_timeout_us.inc(timeout)
             faults.ib_retransmits += 1
             faults.ib_timeout_us += timeout
             self.sim.trace.log(

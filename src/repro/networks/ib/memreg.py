@@ -45,6 +45,12 @@ class RegistrationCache:
         self.evictions = 0
         self.registered_pages_total = 0
         self.transient_failures = 0
+        # Shared across all caches of the run: the paper's thrash signature
+        # is an aggregate property, and per-rank splits stay available on
+        # the per-cache attributes above.
+        self._c_hits = sim.metrics.counter("mvapich.reg_cache.hits")
+        self._c_misses = sim.metrics.counter("mvapich.reg_cache.misses")
+        self._c_evictions = sim.metrics.counter("mvapich.reg_cache.evictions")
 
     # -- cost helpers -----------------------------------------------------------
 
@@ -108,6 +114,7 @@ class RegistrationCache:
             # Region can never be cached: register and deregister every time.
             yield from self._injected_failures(cpu)
             self.misses += 1
+            self._c_misses.inc()
             self.registered_pages_total += self._pages(size)
             yield from cpu.busy(
                 self.register_cost(size) + self.deregister_cost(size), kind="mpi"
@@ -117,11 +124,13 @@ class RegistrationCache:
         if cached is not None and cached >= size:
             self._regions.move_to_end(key)
             self.hits += 1
+            self._c_hits.inc()
             yield from cpu.busy(self.params.reg_cache_hit, kind="mpi")
             return
         # Miss (absent, or cached smaller than needed -> re-register).
         yield from self._injected_failures(cpu)
         self.misses += 1
+        self._c_misses.inc()
         cost = 0.0
         if cached is not None:
             self._bytes -= cached
@@ -131,6 +140,7 @@ class RegistrationCache:
             old_key, old_size = self._regions.popitem(last=False)
             self._bytes -= old_size
             self.evictions += 1
+            self._c_evictions.inc()
             cost += self.deregister_cost(old_size)
         cost += self.register_cost(size)
         self.registered_pages_total += self._pages(size)

@@ -28,6 +28,7 @@ import time
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError, WatchdogError
+from ..telemetry.collect import DISABLED, Telemetry
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import ProcGen, Process
 from .rng import RngStreams
@@ -35,6 +36,7 @@ from .trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults import FaultInjector
+    from .resources import FifoResource, Store
 
 #: How many events between wall-clock watchdog checks: rarely enough to
 #: stay off the hot path, often enough (< 1 ms of simulation work) that
@@ -45,13 +47,30 @@ _WALL_CHECK_INTERVAL = 2048
 class Simulator:
     """Discrete-event simulation kernel."""
 
-    def __init__(self, seed: int = 0, trace: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
         self.rng = RngStreams(seed)
         self.trace = trace if trace is not None else Tracer(enabled=False)
+        #: The observability bundle (:mod:`repro.telemetry`).  The shared
+        #: stateless DISABLED bundle is the default: its registry hands
+        #: out no-op instruments, so model code can fetch and call its
+        #: counters unconditionally.
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        #: Shorthand for ``telemetry.metrics`` — the registry model code
+        #: fetches instruments from at construction time.
+        self.metrics = self.telemetry.metrics
+        #: Every FifoResource / Store built on this simulator, in
+        #: construction order; the metrics snapshot walks the named ones.
+        self.resources: List["FifoResource"] = []
+        self.stores: List["Store"] = []
         self._crashed: List[Tuple[Process, BaseException]] = []
         #: Live non-daemon processes in spawn order (dict as ordered set).
         self._live: Dict[Process, None] = {}

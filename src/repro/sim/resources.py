@@ -69,6 +69,19 @@ class FifoResource:
         self.total_wait_time = 0.0
         self._busy_since: Optional[float] = None
         self.busy_time = 0.0
+        #: Most requests ever queued at once (queue-depth high-water mark).
+        self.queue_hwm = 0
+        #: Most slots ever granted at once.
+        self.in_use_hwm = 0
+        #: Slot-time integral (sum over time of slots in use, in slot-us);
+        #: ``occupancy()`` normalizes it to [0, 1].
+        self.slot_busy_time = 0.0
+        self._occ_at = sim.now
+        #: Per-grant span recording onto the telemetry timeline, if one
+        #: is attached; ``None`` keeps the hot path branch-cheap.
+        self._timeline = sim.telemetry.timeline if name else None
+        self._grant_times: dict = {}
+        sim.resources.append(self)
 
     # -- acquisition -------------------------------------------------------
 
@@ -83,14 +96,26 @@ class FifoResource:
             self._grant(ev, self.sim.now)
         else:
             self._waiters.append((ev, self.sim.now))
+            if len(self._waiters) > self.queue_hwm:
+                self.queue_hwm = len(self._waiters)
         return ev
 
+    def _occ_update(self) -> None:
+        now = self.sim.now
+        self.slot_busy_time += self._in_use * (now - self._occ_at)
+        self._occ_at = now
+
     def _grant(self, ev: Event, requested_at: float) -> None:
+        self._occ_update()
         self._in_use += 1
+        if self._in_use > self.in_use_hwm:
+            self.in_use_hwm = self._in_use
         self.total_grants += 1
         self.total_wait_time += self.sim.now - requested_at
         if self._busy_since is None:
             self._busy_since = self.sim.now
+        if self._timeline is not None:
+            self._grant_times[ev] = self.sim.now
         ev.succeed(requested_at)
 
     def release(self, req: Event) -> None:
@@ -104,7 +129,18 @@ class FifoResource:
             raise SimulationError("release() of unknown pending request")
         if self._in_use <= 0:
             raise SimulationError(f"release() of idle resource {self.name!r}")
+        self._occ_update()
         self._in_use -= 1
+        if self._timeline is not None:
+            started = self._grant_times.pop(req, None)
+            if started is not None:
+                self._timeline.span(
+                    self.name,
+                    self.name,
+                    "resource",
+                    started,
+                    self.sim.now - started,
+                )
         if self._waiters:
             nxt, requested_at = self._waiters.popleft()
             self._grant(nxt, requested_at)
@@ -141,6 +177,14 @@ class FifoResource:
         total = elapsed if elapsed is not None else self.sim.now
         return 0.0 if total <= 0 else busy / total
 
+    def occupancy(self, elapsed: Optional[float] = None) -> float:
+        """Mean fraction of slots in use over time (the busy-time integral
+        normalized by capacity).  Equals :meth:`utilization` for
+        unit-capacity resources."""
+        integral = self.slot_busy_time + self._in_use * (self.sim.now - self._occ_at)
+        total = elapsed if elapsed is not None else self.sim.now
+        return 0.0 if total <= 0 else integral / (self.capacity * total)
+
 
 class Store:
     """Unbounded FIFO mailbox with blocking ``get``.
@@ -155,6 +199,9 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self.total_puts = 0
+        #: Most items ever queued at once (delivery-backlog high-water mark).
+        self.depth_hwm = 0
+        sim.stores.append(self)
 
     def put(self, item: Any) -> None:
         """Append ``item``; wakes the oldest waiting getter, if any."""
@@ -163,6 +210,8 @@ class Store:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
+            if len(self._items) > self.depth_hwm:
+                self.depth_hwm = len(self._items)
 
     def get(self) -> Event:
         """Event delivering the oldest item (immediately if available)."""

@@ -4,13 +4,22 @@ Tracing is off by default and compiled down to a single boolean check on the
 hot path.  When enabled, records are kept in memory as tuples and can be
 filtered by category — e.g. ``Tracer(enabled=True, categories={"rndv"})`` to
 watch only rendezvous protocol traffic.
+
+Storage is a :class:`repro.telemetry.EventStream`, which accounts drops
+**per category** once the record limit is hit — ``summary()`` reports both
+the total and the per-category breakdown, so a drowned-out category is
+visible as such.  The public surface (``records``, ``dropped``,
+``select``, ``summary``, ``clear``) is unchanged from the pre-telemetry
+tracer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Union
 
-TraceRecord = Tuple[float, str, str]
+from ..telemetry.stream import EventStream, StreamRecord
+
+TraceRecord = StreamRecord
 
 
 class Tracer:
@@ -25,8 +34,17 @@ class Tracer:
         self.enabled = enabled
         self.categories: Optional[Set[str]] = set(categories) if categories else None
         self.limit = limit
-        self.records: List[TraceRecord] = []
-        self.dropped = 0
+        self.stream = EventStream(limit=limit)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The stored records, in log order."""
+        return self.stream.records
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to the limit, across all categories."""
+        return self.stream.dropped
 
     def log(self, now: float, category: str, message: str) -> None:
         """Record one event if tracing is on and the category passes."""
@@ -34,35 +52,31 @@ class Tracer:
             return
         if self.categories is not None and category not in self.categories:
             return
-        if len(self.records) >= self.limit:
-            self.dropped += 1
-            return
-        self.records.append((now, category, message))
+        self.stream.append(now, category, message)
 
     def summary(self) -> Dict[str, Union[int, Dict[str, int]]]:
-        """Per-category record counts plus the dropped count.
+        """Per-category record and drop counts plus totals.
 
         JSON-ready observability digest — campaign journals attach this
         to each traced run so record volume can be inspected without
         shipping the records themselves.
         """
-        by_category: Dict[str, int] = {}
-        for _, category, _ in self.records:
-            by_category[category] = by_category.get(category, 0) + 1
         return {
-            "total": len(self.records),
-            "dropped": self.dropped,
-            "by_category": dict(sorted(by_category.items())),
+            "total": len(self.stream),
+            "dropped": self.stream.dropped,
+            "by_category": self.stream.counts(),
+            "dropped_by_category": dict(
+                sorted(self.stream.dropped_by_category.items())
+            ),
         }
 
     def select(self, category: str) -> List[TraceRecord]:
         """All records of one category, in time order."""
-        return [r for r in self.records if r[1] == category]
+        return [r for r in self.stream.records if r[1] == category]
 
     def clear(self) -> None:
         """Drop all records."""
-        self.records.clear()
-        self.dropped = 0
+        self.stream.clear()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.stream)

@@ -1,0 +1,57 @@
+"""Structured observability for simulated runs.
+
+The paper's claims are mechanism claims — protocol crossover points,
+registration-cache thrash, NIC-thread matching, bus saturation — and
+this package makes those mechanisms *numbers*:
+
+* :class:`MetricsRegistry` — cheap named counters/gauges/histograms.
+  Disabled registries hand out shared no-op instruments, so an
+  untelemetered run pays one empty method call per event and allocates
+  nothing.  Enabled contents are deterministic: same seed + same spec
+  gives bit-identical metric dicts.
+* :class:`Telemetry` — the per-simulator bundle (registry + optional
+  span :class:`Timeline`), attached via ``Machine(...,
+  telemetry=Telemetry(...))``.
+* :func:`snapshot` — one flat JSON-ready dict per run: protocol
+  counters, per-resource busy time / utilization / occupancy / queue
+  high-water marks, per-store depths, kernel totals.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome
+  ``trace_event`` JSON timelines (load in ``chrome://tracing`` or
+  Perfetto), with the metrics dict embedded under ``otherData``.
+* ``repro-trace`` (:mod:`repro.telemetry.cli`) — record / dump /
+  summarize / diff traces from the shell.
+
+Telemetry never touches simulation behaviour: no events are scheduled,
+no randomness is drawn, and enabling it leaves every simulated timing
+bit-identical.
+"""
+
+from .chrome import chrome_trace, load_trace, validate_trace, write_chrome_trace
+from .collect import DISABLED, Telemetry, snapshot
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .stream import EventStream, Timeline
+
+__all__ = [
+    "Telemetry",
+    "DISABLED",
+    "snapshot",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventStream",
+    "Timeline",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_trace",
+    "validate_trace",
+]

@@ -1,0 +1,231 @@
+"""Cheap, deterministic metric instruments.
+
+A :class:`MetricsRegistry` hands out named counters, gauges and
+histograms.  Design constraints, in order:
+
+* **Zero overhead when disabled.**  Model code fetches its instruments
+  once (at construction) from ``sim.metrics``; a disabled simulator hands
+  back module-level null singletons whose methods are empty — the hot
+  path pays one no-op method call and allocates nothing.
+* **Deterministic contents when enabled.**  Instruments hold plain
+  Python numbers fed exclusively by the deterministic simulation, and
+  :meth:`MetricsRegistry.as_dict` exports them sorted by name — two runs
+  with the same seed and spec produce bit-identical dicts, serial or
+  parallel, in any process.
+* **JSON-ready.**  Exported values are ints/floats only, so a metrics
+  dict drops straight into campaign journals and Chrome traces.
+
+Instrument names are dotted paths (``mvapich.reg_cache.misses``); the
+registry enforces one kind per name so an export can never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..errors import ConfigurationError
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically-increasing tally (float increments allowed)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (default 1) to the tally."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value with a high-water mark."""
+
+    __slots__ = ("value", "hwm")
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+        self.hwm: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Record the current value, tracking the maximum ever seen."""
+        self.value = value
+        if value > self.hwm:
+            self.hwm = value
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max.
+
+    No buckets — count, sum and extrema are what the regression tests
+    and reports need, and they stay exact and deterministic.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if self.count == 0 or value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 before the first observe)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    """Shared do-nothing counter handed out by a disabled registry."""
+
+    __slots__ = ()
+    value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value: Number = 0
+    hwm: Number = 0
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+#: The singletons a :class:`NullRegistry` returns — every call site in a
+#: disabled simulation shares these three objects.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Name-addressed instrument store for one simulated machine."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _claim(self, name: str, kind: Dict) -> None:
+        if not name:
+            raise ConfigurationError("metric name cannot be empty")
+        for store in (self._counters, self._gauges, self._histograms):
+            if store is not kind and name in store:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first request."""
+        c = self._counters.get(name)
+        if c is None:
+            self._claim(name, self._counters)
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first request."""
+        g = self._gauges.get(name)
+        if g is None:
+            self._claim(name, self._gauges)
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first request."""
+        h = self._histograms.get(name)
+        if h is None:
+            self._claim(name, self._histograms)
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def as_dict(self) -> Dict[str, Number]:
+        """Flat ``{name: number}`` export, sorted by name.
+
+        Histograms expand to ``name.count/.sum/.min/.max/.mean``; gauges
+        to ``name`` and ``name.hwm``.  Sorted insertion makes the dict —
+        and its JSON serialization — bit-identical across runs.
+        """
+        out: Dict[str, Number] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+            out[f"{name}.hwm"] = g.hwm
+        for name, h in self._histograms.items():
+            out[f"{name}.count"] = h.count
+            out[f"{name}.sum"] = h.total
+            out[f"{name}.min"] = h.min
+            out[f"{name}.max"] = h.max
+            out[f"{name}.mean"] = h.mean
+        return dict(sorted(out.items()))
+
+    def clear(self) -> None:
+        """Forget every instrument (tests only)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+class NullRegistry:
+    """The disabled registry: hands out shared no-op instruments.
+
+    Stateless, so one module-level instance (:data:`NULL_REGISTRY`) is
+    shared by every untelemetered simulator.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled registry.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,117 @@
+"""Bounded event streams and span timelines.
+
+:class:`EventStream` is the storage behind the legacy string
+:class:`~repro.sim.trace.Tracer`: time-ordered ``(time, category,
+message)`` tuples with **per-category** drop accounting once the record
+limit is hit — a drowned-out category is visible as such, not folded
+into one global number.
+
+:class:`Timeline` records *spans* (named intervals on named tracks) and
+*instants*, the raw material of the Chrome ``trace_event`` exporter.
+Track ids are assigned in first-use order, which is simulation order and
+therefore deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: One stream record: (simulation time, category, message).
+StreamRecord = Tuple[float, str, str]
+
+#: One timeline span: (track id, name, category, start us, duration us).
+Span = Tuple[int, str, str, float, float]
+
+#: One timeline instant: (track id, name, category, time us).
+Instant = Tuple[int, str, str, float]
+
+
+class EventStream:
+    """Append-only bounded record store with per-category drop counts."""
+
+    __slots__ = ("limit", "records", "dropped_by_category")
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.limit = limit
+        self.records: List[StreamRecord] = []
+        self.dropped_by_category: Dict[str, int] = {}
+
+    def append(self, now: float, category: str, message: str) -> bool:
+        """Store one record; returns False (and counts the drop) if full."""
+        if len(self.records) >= self.limit:
+            self.dropped_by_category[category] = (
+                self.dropped_by_category.get(category, 0) + 1
+            )
+            return False
+        self.records.append((now, category, message))
+        return True
+
+    @property
+    def dropped(self) -> int:
+        """Total records dropped across all categories."""
+        return sum(self.dropped_by_category.values())
+
+    def counts(self) -> Dict[str, int]:
+        """Stored-record counts per category, sorted by category."""
+        by_category: Dict[str, int] = {}
+        for _, category, _ in self.records:
+            by_category[category] = by_category.get(category, 0) + 1
+        return dict(sorted(by_category.items()))
+
+    def clear(self) -> None:
+        """Drop all records and reset drop accounting."""
+        self.records.clear()
+        self.dropped_by_category.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Timeline:
+    """Span/instant recorder feeding the Chrome ``trace_event`` export.
+
+    A *track* is one horizontal lane in the viewer — a resource (a link,
+    the PCI-X bus, a NIC engine, a CPU) or a protocol category.  Spans on
+    the same track may overlap (multi-slot resources); the trace format
+    allows it.
+    """
+
+    __slots__ = ("limit", "spans", "instants", "_tracks", "dropped")
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        self.limit = limit
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        #: track name -> tid, in first-use (simulation) order.
+        self._tracks: Dict[str, int] = {}
+        self.dropped = 0
+
+    def tid(self, track: str) -> int:
+        """The stable integer id of ``track``, assigned on first use."""
+        t = self._tracks.get(track)
+        if t is None:
+            t = self._tracks[track] = len(self._tracks)
+        return t
+
+    def span(
+        self, track: str, name: str, category: str, start: float, duration: float
+    ) -> None:
+        """Record a completed interval on ``track``."""
+        if len(self.spans) + len(self.instants) >= self.limit:
+            self.dropped += 1
+            return
+        self.spans.append((self.tid(track), name, category, start, duration))
+
+    def instant(self, track: str, name: str, category: str, now: float) -> None:
+        """Record a point event on ``track``."""
+        if len(self.spans) + len(self.instants) >= self.limit:
+            self.dropped += 1
+            return
+        self.instants.append((self.tid(track), name, category, now))
+
+    def track_names(self) -> List[str]:
+        """All track names, in tid order."""
+        return list(self._tracks)
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConnectionError_, NetworkError, QueuePairError
+from repro.errors import NetworkError, QueuePairError
 from repro.fabric import CrossbarFabric
 from repro.hardware import Node
 from repro.networks.base import NetRecord
@@ -40,9 +40,10 @@ def test_rdma_without_connection_rejected():
     assert isinstance(ei.value.__cause__, QueuePairError)
 
 
-def test_connection_error_alias_still_works():
-    # Deprecated name, kept for one release.
-    assert ConnectionError_ is QueuePairError
+def test_deprecated_connection_error_alias_removed():
+    import repro.errors
+
+    assert not hasattr(repro.errors, "ConnectionError_")
 
 
 def test_connect_pays_setup_once():

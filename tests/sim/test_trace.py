@@ -54,7 +54,26 @@ def test_summary_counts_categories_and_dropped():
 
 
 def test_summary_empty_tracer():
-    assert Tracer().summary() == {"total": 0, "dropped": 0, "by_category": {}}
+    assert Tracer().summary() == {
+        "total": 0,
+        "dropped": 0,
+        "by_category": {},
+        "dropped_by_category": {},
+    }
+
+
+def test_summary_reports_drops_per_category():
+    t = Tracer(limit=2)
+    t.log(0.0, "rndv", "kept")
+    t.log(1.0, "eager", "kept")
+    t.log(2.0, "rndv", "over limit")
+    t.log(3.0, "rndv", "over limit")
+    t.log(4.0, "eager", "over limit")
+    s = t.summary()
+    assert s["dropped"] == 3
+    assert s["dropped_by_category"] == {"eager": 1, "rndv": 2}
+    # Stored records are untouched by the overflow accounting.
+    assert s["by_category"] == {"eager": 1, "rndv": 1}
 
 
 def test_summary_is_json_ready():

@@ -1,0 +1,52 @@
+"""Scaled-down version of the b_eff acceptance run: trace + metrics.
+
+The full acceptance criterion (64 ranks) takes ~25 s per network; this
+keeps the same shape at 8 ranks so the property — an effective-bandwidth
+run exports a loadable Chrome trace whose metrics carry link utilization
+and the per-technology protocol counters — is pinned in CI.
+"""
+
+import pytest
+
+from repro.microbench.beff import _ring_patterns, beff_program, beff_sizes
+from repro.mpi import Machine
+from repro.telemetry import Telemetry
+from repro.telemetry.chrome import load_trace, write_chrome_trace
+from repro.units import KiB
+
+pytestmark = pytest.mark.telemetry
+
+NPROCS = 8
+
+
+def run_beff_traced(network, tmp_path):
+    machine = Machine(
+        network, NPROCS, seed=0, telemetry=Telemetry(metrics=True, timeline=True)
+    )
+    rng = machine.sim.rng.stream("beff.patterns")
+    patterns = _ring_patterns(NPROCS, rng)[:1]
+    machine.run(beff_program(patterns, beff_sizes(4 * KiB)))
+    path = tmp_path / f"beff-{network}.json"
+    write_chrome_trace(path, machine.sim, label=f"beff-{network}")
+    return load_trace(path)["otherData"]["metrics"]
+
+
+def test_beff_ib_trace_and_counters(tmp_path):
+    metrics = run_beff_traced("ib", tmp_path)
+    for node in range(NPROCS):
+        assert 0.0 <= metrics[f"resource.up{node}.utilization"] <= 1.0
+    assert metrics["mvapich.eager_sends"] > 0
+    assert metrics["mvapich.rndv_sends"] > 0
+    assert metrics["mvapich.reg_cache.hits"] + metrics[
+        "mvapich.reg_cache.misses"
+    ] > 0
+
+
+def test_beff_elan_trace_and_counters(tmp_path):
+    metrics = run_beff_traced("elan", tmp_path)
+    for node in range(NPROCS):
+        assert 0.0 <= metrics[f"resource.up{node}.utilization"] <= 1.0
+    assert metrics["qmpi.tx"] > 0
+    assert metrics["elan.thread.match_attempts"] > 0
+    # No registration machinery exists on this side at all.
+    assert "mvapich.reg_cache.misses" not in metrics

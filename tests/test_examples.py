@@ -89,3 +89,14 @@ def test_full_report_quick_subset():
         "full_report.py", "--quick", "--only", "table1,fig7", "--no-anchors"
     )
     assert "Figure 7" in out
+
+
+def test_trace_pingpong(tmp_path):
+    import json
+
+    out = run_example("trace_pingpong.py", str(tmp_path))
+    assert "mvapich.rndv_sends" in out
+    assert "elan.thread.match_attempts" in out
+    for network in ("ib", "elan"):
+        data = json.loads((tmp_path / f"pingpong-{network}.json").read_text())
+        assert data["traceEvents"]
