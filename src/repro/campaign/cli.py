@@ -50,6 +50,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         max_events=args.max_events,
         max_retries=args.max_retries,
+        lifecycle=args.blame,
     )
     result = engine.run(campaign, force=args.force)
     print(result.summary())
@@ -62,6 +63,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "value": record.get("value"),
                 "elapsed_us": record.get("elapsed_us"),
             }
+            if args.blame and "blame" in record:
+                row["blame"] = {
+                    name: entry["share"]
+                    for name, entry in record["blame"]["components"].items()
+                }
             metrics = record.get("metrics") or {}
             for name in metric_cols:
                 row[name] = metrics.get(name)
@@ -167,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="re-execute failed runs up to N times before quarantining",
+    )
+    run.add_argument(
+        "--blame",
+        action="store_true",
+        help="collect lifecycle spans per run; records (and --values rows) "
+        "gain a critical-path blame table plus occupancy series",
     )
     run.add_argument(
         "--values", action="store_true", help="print one JSON line per run"

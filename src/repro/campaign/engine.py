@@ -129,6 +129,7 @@ class CampaignEngine:
         max_events: Optional[int] = None,
         max_retries: int = 0,
         retry_backoff_s: float = 0.25,
+        lifecycle: bool = False,
     ) -> None:
         if timeout_s is not None and timeout_s <= 0:
             raise ConfigurationError("timeout_s must be positive")
@@ -146,6 +147,9 @@ class CampaignEngine:
         self.timeout_s = timeout_s
         #: Per-run simulated-event budget (same watchdog).
         self.max_events = max_events
+        #: Also collect lifecycle spans + series per run (record gains
+        #: deterministic ``blame`` and ``series`` blocks).
+        self.lifecycle = lifecycle
         #: Times a failed point is re-executed before quarantine.
         self.max_retries = max_retries
         #: Base of the exponential inter-retry sleep.
@@ -274,6 +278,7 @@ class CampaignEngine:
             trace=self.trace,
             timeout_s=self.timeout_s,
             max_events=self.max_events,
+            lifecycle=self.lifecycle,
         )
         if self.workers <= 1 or len(specs) == 1:
             for spec in specs:

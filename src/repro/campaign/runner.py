@@ -46,6 +46,7 @@ def execute_run(
     trace: bool = False,
     timeout_s: Optional[float] = None,
     max_events: Optional[int] = None,
+    lifecycle: bool = False,
 ) -> Dict[str, Any]:
     """Run one spec on a fresh machine; always returns a journal record.
 
@@ -53,7 +54,10 @@ def execute_run(
     raised, so one bad point can't take down a campaign (or a worker).
     ``timeout_s`` bounds the run's wall-clock time and ``max_events`` its
     event count via the simulator watchdog; a tripped budget produces an
-    error record naming the blocked ranks.
+    error record naming the blocked ranks.  ``lifecycle`` additionally
+    collects message spans and occupancy series, folding them into the
+    record as a ``blame`` table and a resampled ``series`` block — both
+    deterministic, so cached and fresh records stay byte-identical.
     """
     t0 = time.perf_counter()
     record: Dict[str, Any] = {
@@ -77,7 +81,12 @@ def execute_run(
             # Metrics are deterministic, cheap and picklable; every
             # campaign record carries them (timeline stays off — spans
             # are bulky and reconstructable by re-running with tracing).
-            telemetry=Telemetry(metrics=True, timeline=False),
+            telemetry=Telemetry(
+                metrics=True,
+                timeline=False,
+                lifecycle=lifecycle,
+                series=lifecycle,
+            ),
         )
         result = machine.run(
             build_program(spec.app, spec.args),
@@ -89,6 +98,9 @@ def execute_run(
             value=scalar_value(result.values),
             elapsed_us=result.elapsed_us,
         )
+        if lifecycle:
+            record["blame"] = machine.blame()
+            record["series"] = machine.series(points=64)
     except Exception as exc:  # noqa: BLE001 - isolate per-run failures
         cause = root_fault(exc) or exc
         record.update(

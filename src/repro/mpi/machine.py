@@ -225,6 +225,27 @@ class Machine:
             path, self.sim, tracer=self.sim.trace, label=label or self.label
         )
 
+    def lifecycle_spans(self) -> List[dict]:
+        """All recorded message spans as JSON-ready dicts (start order)."""
+        return self.sim.telemetry.lifecycle.to_dicts()
+
+    def blame(self) -> dict:
+        """Critical-path blame table over the run's message spans.
+
+        Empty-path shape (``total_us`` 0) when lifecycle collection was
+        off or no message completed.
+        """
+        from ..telemetry.critical_path import blame_of_spans
+
+        return blame_of_spans(self.sim.telemetry.lifecycle.spans)
+
+    def series(self, dt: float = 0.0, points: int = 200) -> dict:
+        """Every sampled channel resampled onto a common virtual-time grid."""
+        bank = self.sim.telemetry.series
+        if not bank.enabled:
+            return {}
+        return bank.sampled(self.sim.now, dt=dt, points=points)
+
     def memory_footprint_per_process(self) -> int:
         """Network buffer bytes one process dedicates in this job size."""
         return self.nics[0].memory_footprint(self.n_ranks)

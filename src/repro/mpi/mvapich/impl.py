@@ -25,6 +25,7 @@ from ...networks.base import NetRecord
 from ...networks.ib import Hca
 from ...networks.params import IBParams
 from ...sim import Event, Store
+from ...telemetry.series import NULL_CHANNEL
 from ..context import MpiImpl, RankContext
 from ..matching import (
     ANY_SOURCE,
@@ -67,6 +68,11 @@ class _MvState:
         self.ring_slots = ring_slots
         self.credits: Dict[int, int] = {}
         self.credit_waiters: Dict[int, Event] = {}
+        #: Eager slots currently consumed across all destinations, and
+        #: its series channel (replaced with the live one when sampling
+        #: is enabled; see ``register_rank``).
+        self.credits_outstanding = 0
+        self.credit_chan = NULL_CHANNEL
         # -- statistics ----------------------------------------------------
         self.eager_sends = 0
         self.rndv_sends = 0
@@ -128,7 +134,11 @@ class MvapichImpl(MpiImpl):
     def register_rank(self, ctx: RankContext, hca: Hca) -> None:
         """Bind a rank to its HCA; creates inbox and protocol state."""
         inbox = hca.attach_rank(ctx.rank)
-        ctx.impl_state = _MvState(inbox, self.params.rdma_ring_slots)
+        state = _MvState(inbox, self.params.rdma_ring_slots)
+        state.credit_chan = self.sim.telemetry.series.channel(
+            f"mvapich.r{ctx.rank}.credits_outstanding"
+        )
+        ctx.impl_state = state
         self._ranks[ctx.rank] = (ctx, hca)
         if self.progress_thread:
             self.sim.spawn(
@@ -176,29 +186,42 @@ class MvapichImpl(MpiImpl):
             raise MpiError(f"negative message size: {size}")
         state: _MvState = ctx.impl_state
         hca = self._ranks[ctx.rank][1]
-        req = Request(kind="send", peer=dest, tag=tag, size=size, done=Event(self.sim))
+        eager = size <= self.params.eager_threshold
+        span = self.sim.lifecycle.start(
+            "send", ctx.rank, dest, tag, size,
+            "eager" if eager else "rndv", self.sim.now,
+        )
+        req = Request(
+            kind="send", peer=dest, tag=tag, size=size,
+            done=Event(self.sim), span=span,
+        )
         ctx.sends += 1
         ctx.bytes_sent += size
         self.sim.trace.log(
             self.sim.now,
             "ib.send",
             f"r{ctx.rank}->r{dest} tag={tag} size={size} "
-            f"{'eager' if size <= self.params.eager_threshold else 'rndv'}",
+            f"{'eager' if eager else 'rndv'}",
         )
-        if size <= self.params.eager_threshold:
+        if eager:
             state.eager_sends += 1
             self._c_eager.inc()
             # Flow control: an eager send needs a free slot in the
             # destination's per-sender ring.  When the ring is full (the
             # receiver has not been in the library to drain it), the
             # sender stalls *inside* isend, progressing its own inbox.
+            start = self.sim.now
             yield from self._acquire_credit(ctx, dest)
+            span.phase("credit_wait", start, self.sim.now)
             # Copy into the pre-registered ring, then RDMA it over.
+            start = self.sim.now
             yield from ctx.node.host_copy(size)
+            span.phase("eager_copy", start, self.sim.now)
             state.host_copies_bytes += size
             ctx.charge_pollution(size)
             record = NetRecord(
-                kind="eager", src_rank=ctx.rank, dst_rank=dest, size=size, tag=tag
+                kind="eager", src_rank=ctx.rank, dst_rank=dest, size=size,
+                tag=tag, span=span,
             )
             yield from hca.rdma_write(ctx.cpu, ctx.rank, self._peer_hca(dest), record)
             # Buffer reusable immediately after the copy: complete locally.
@@ -211,7 +234,7 @@ class MvapichImpl(MpiImpl):
         state.send_seq += 1
         send_id = (ctx.rank << 24) + state.send_seq
         key = buf if buf is not None else ("send", ctx.rank, dest)
-        yield from hca.reg_cache(ctx.rank).ensure(ctx.cpu, key, size)
+        yield from hca.reg_cache(ctx.rank).ensure(ctx.cpu, key, size, span)
         state.pending_sends[send_id] = _SendState(req, dest, size, buf)
         rts = NetRecord(
             kind="rts",
@@ -220,6 +243,7 @@ class MvapichImpl(MpiImpl):
             size=self.params.control_bytes,
             tag=tag,
             meta=(send_id, size),
+            span=span,
         )
         yield from hca.rdma_write(ctx.cpu, ctx.rank, self._peer_hca(dest), rts)
         return req
@@ -232,7 +256,13 @@ class MvapichImpl(MpiImpl):
         if source != ANY_SOURCE:
             validate_rank(source, ctx.size, "source")
         state: _MvState = ctx.impl_state
-        req = Request(kind="recv", peer=source, tag=tag, size=size, done=Event(self.sim))
+        span = self.sim.lifecycle.start(
+            "recv", ctx.rank, source, tag, size, "recv", self.sim.now
+        )
+        req = Request(
+            kind="recv", peer=source, tag=tag, size=size,
+            done=Event(self.sim), span=span,
+        )
         req.impl_state = buf
         ctx.recvs += 1
         posting = Envelope(source, tag)
@@ -244,7 +274,9 @@ class MvapichImpl(MpiImpl):
             state.posted.append(posting, req)
             yield from self._charge_match(ctx, searched)
             return req
+        start = self.sim.now
         yield from self._charge_match(ctx, searched)
+        span.phase("host_match", start, self.sim.now)
         if record.kind == "eager":
             yield from self._deliver_eager(ctx, record, req)
         elif record.kind == "rts":
@@ -335,7 +367,9 @@ class MvapichImpl(MpiImpl):
                 state.host_copies_bytes += record.size
                 ctx.charge_pollution(record.size)
             else:
+                start = self.sim.now
                 yield from self._charge_match(ctx, searched)
+                req.span.phase("host_match", start, self.sim.now)
                 yield from self._deliver_eager(ctx, record, req)
             # Either way the ring slot is free again: return the credit.
             self._return_credit(ctx.rank, record.src_rank)
@@ -347,7 +381,9 @@ class MvapichImpl(MpiImpl):
                 self._c_unexpected.inc()
                 yield from self._charge_match(ctx, searched)
             else:
+                start = self.sim.now
                 yield from self._charge_match(ctx, searched)
+                req.span.phase("host_match", start, self.sim.now)
                 yield from self._answer_rts(ctx, record, req)
         elif record.kind == "cts":
             yield from self._start_data(ctx, record)
@@ -357,7 +393,9 @@ class MvapichImpl(MpiImpl):
             if req is None:
                 raise MpiError(f"rdata for unknown rendezvous {send_id}")
             ctx.bytes_received += record.size
+            req.span.edge(record.span.last_end, record.span, "host_poll")
             req.complete(source=record.src_rank, tag=record.tag, size=record.size)
+            req.span.finish(self.sim.now)
         elif record.kind == "rread":
             # Our own RDMA read completed: finish the receive and tell
             # the sender its buffer is free.
@@ -367,6 +405,7 @@ class MvapichImpl(MpiImpl):
                 raise MpiError(f"read completion for unknown rendezvous {send_id}")
             ctx.bytes_received += record.size
             req.complete(source=record.src_rank, tag=record.tag, size=record.size)
+            req.span.finish(self.sim.now)
             hca = self._ranks[ctx.rank][1]
             fin = NetRecord(
                 kind="fin",
@@ -375,6 +414,7 @@ class MvapichImpl(MpiImpl):
                 size=self.params.control_bytes,
                 tag=record.tag,
                 meta=send_id,
+                span=req.span,
             )
             self._c_fin.inc()
             yield from hca.rdma_write(
@@ -385,9 +425,11 @@ class MvapichImpl(MpiImpl):
             st = state.pending_sends.pop(send_id, None)
             if st is None:
                 raise MpiError(f"FIN for unknown send {send_id}")
+            st.request.span.edge(record.span.last_end, record.span, "host_poll")
             st.request.complete(
                 source=ctx.rank, tag=st.request.tag, size=st.size
             )
+            st.request.span.finish(self.sim.now)
         else:  # pragma: no cover - defensive
             raise MpiError(f"unknown record kind {record.kind!r}")
 
@@ -422,6 +464,8 @@ class MvapichImpl(MpiImpl):
                 else:
                     state.inbox.cancel_get(get_ev)
         state.credits[dest] -= 1
+        state.credits_outstanding += 1
+        state.credit_chan.record(self.sim.now, state.credits_outstanding)
 
     def _return_credit(self, receiver_rank: int, sender_rank: int) -> None:
         """Free the ring slot ``sender_rank`` used at ``receiver_rank``.
@@ -434,6 +478,8 @@ class MvapichImpl(MpiImpl):
         sender_ctx, _ = self._ranks[sender_rank]
         state: _MvState = sender_ctx.impl_state
         state.credits[receiver_rank] = state.credits_to(receiver_rank) + 1
+        state.credits_outstanding -= 1
+        state.credit_chan.record(self.sim.now, state.credits_outstanding)
         waiter = state.credit_waiters.get(receiver_rank)
         if waiter is not None and not waiter.triggered:
             waiter.succeed(None)
@@ -455,7 +501,14 @@ class MvapichImpl(MpiImpl):
         self, ctx: RankContext, record: NetRecord, req: Request
     ) -> Generator[Event, Any, None]:
         state: _MvState = ctx.impl_state
+        span = req.span
+        span.relabel("eager")
+        # Host matching only: the HCA never matched anything on arrival.
+        span.note("matched_on_arrival", 0)
+        span.edge(record.span.last_end, record.span, "host_match")
         if record.size > req.size:
+            span.note("error", "truncation")
+            span.finish(self.sim.now)
             req.done.fail(
                 TruncationError(
                     f"eager message of {record.size} B truncates receive of "
@@ -463,18 +516,27 @@ class MvapichImpl(MpiImpl):
                 )
             )
             return
+        start = self.sim.now
         yield from ctx.node.host_copy(record.size)
+        span.phase("eager_copy", start, self.sim.now)
         state.host_copies_bytes += record.size
         ctx.charge_pollution(record.size)
         ctx.bytes_received += record.size
         req.complete(source=record.src_rank, tag=record.tag, size=record.size)
+        span.finish(self.sim.now)
 
     def _answer_rts(
         self, ctx: RankContext, rts: NetRecord, req: Request
     ) -> Generator[Event, Any, None]:
         state: _MvState = ctx.impl_state
         send_id, data_size = rts.meta
+        span = req.span
+        span.relabel("rndv")
+        span.note("matched_on_arrival", 0)
+        span.edge(rts.span.last_end, rts.span, "host_match")
         if data_size > req.size:
+            span.note("error", "truncation")
+            span.finish(self.sim.now)
             req.done.fail(
                 TruncationError(
                     f"rendezvous of {data_size} B truncates receive of "
@@ -488,7 +550,7 @@ class MvapichImpl(MpiImpl):
             ctx.rank,
             rts.src_rank,
         )
-        yield from hca.reg_cache(ctx.rank).ensure(ctx.cpu, key, data_size)
+        yield from hca.reg_cache(ctx.rank).ensure(ctx.cpu, key, data_size, span)
         state.pending_recvs[send_id] = req
         if self.params.rndv_protocol == "read":
             # RTS carried the source address: pull the data directly.
@@ -500,6 +562,7 @@ class MvapichImpl(MpiImpl):
                 size=data_size,
                 tag=rts.tag,
                 meta=send_id,
+                span=span,
             )
             yield from hca.rdma_read(
                 ctx.cpu, ctx.rank, self._peer_hca(rts.src_rank), data
@@ -512,6 +575,7 @@ class MvapichImpl(MpiImpl):
             size=self.params.control_bytes,
             tag=rts.tag,
             meta=send_id,
+            span=span,
         )
         self._c_cts.inc()
         yield from hca.rdma_write(
@@ -527,6 +591,7 @@ class MvapichImpl(MpiImpl):
         if st is None:
             raise MpiError(f"CTS for unknown send {send_id}")
         hca = self._ranks[ctx.rank][1]
+        st.request.span.edge(cts.span.last_end, cts.span, "host_poll")
         data = NetRecord(
             kind="rdata",
             src_rank=ctx.rank,
@@ -534,6 +599,7 @@ class MvapichImpl(MpiImpl):
             size=st.size,
             tag=st.request.tag,
             meta=send_id,
+            span=st.request.span,
         )
         done = yield from hca.rdma_write(
             ctx.cpu, ctx.rank, self._peer_hca(st.dest), data
@@ -575,3 +641,4 @@ def _complete_on(
 ) -> Generator[Event, Any, None]:
     yield done
     request.complete(source=source, tag=tag, size=size)
+    request.span.finish(sim.now)

@@ -111,9 +111,16 @@ class QMpiImpl(MpiImpl):
         ctx.sends += 1
         ctx.bytes_sent += size
         nic = self._ranks[ctx.rank][1]
-        handle = nic.tx(ctx.cpu, ctx.rank, self._peer_nic(dest), dest, tag, size)
+        proto = "tport-sync" if size > self.params.sync_threshold else "tport"
+        span = self.sim.lifecycle.start(
+            "send", ctx.rank, dest, tag, size, proto, self.sim.now
+        )
+        handle = nic.tx(
+            ctx.cpu, ctx.rank, self._peer_nic(dest), dest, tag, size, span=span
+        )
         req = Request(
-            kind="send", peer=dest, tag=tag, size=size, done=handle.done
+            kind="send", peer=dest, tag=tag, size=size, done=handle.done,
+            span=span,
         )
         # isend returns after issuing the command; give the command-post
         # time a chance to be charged in-order on this rank's CPU.
@@ -131,8 +138,14 @@ class QMpiImpl(MpiImpl):
         self._c_rx.inc()
         ctx.recvs += 1
         nic = self._ranks[ctx.rank][1]
-        handle = nic.post_rx(ctx.cpu, ctx.rank, source, tag, size)
-        req = Request(kind="recv", peer=source, tag=tag, size=size, done=handle.done)
+        span = self.sim.lifecycle.start(
+            "recv", ctx.rank, source, tag, size, "recv", self.sim.now
+        )
+        handle = nic.post_rx(ctx.cpu, ctx.rank, source, tag, size, span=span)
+        req = Request(
+            kind="recv", peer=source, tag=tag, size=size, done=handle.done,
+            span=span,
+        )
         req.impl_state = handle
         yield self.sim.timeout(0.0)
         return req

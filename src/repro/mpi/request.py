@@ -10,10 +10,11 @@ is shared.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from ..errors import MpiError
 from ..sim import Event
+from ..telemetry.lifecycle import NULL_SPAN
 
 
 @dataclass
@@ -37,6 +38,8 @@ class Request:
     status: Status = field(default_factory=Status)
     #: Implementation-private protocol state.
     impl_state: Optional[object] = None
+    #: Lifecycle span of this operation (null span when telemetry off).
+    span: Any = NULL_SPAN
 
     @property
     def completed(self) -> bool:

@@ -25,6 +25,7 @@ from ..errors import NetworkError
 from ..fabric import CrossbarFabric
 from ..hardware import Node
 from ..sim import Event, FifoResource, Stage, transfer
+from ..telemetry.lifecycle import NULL_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim import Simulator
@@ -48,6 +49,9 @@ class NetRecord:
     tag: int = 0
     meta: Any = None
     seq: int = field(default_factory=lambda: next(_seq_counter))
+    #: Lifecycle span of the MPI operation this record serves (the
+    #: shared null span when lifecycle telemetry is off).
+    span: Any = NULL_SPAN
 
 
 class Nic:
@@ -112,7 +116,11 @@ class Nic:
         return stages
 
     def push(
-        self, dst_nic: "Nic", size: int
+        self,
+        dst_nic: "Nic",
+        size: int,
+        span: Any = NULL_SPAN,
+        phase: str = "wire",
     ) -> Generator[Event, Any, float]:
         """Move ``size`` payload bytes to the destination host memory.
 
@@ -120,12 +128,20 @@ class Nic:
         transfer sharing a bus, engine or link is exact.  With link bit
         errors injected, internode messages go through the technology's
         recovery path instead (``_push_with_link_faults``).
+
+        A live lifecycle ``span`` gets the transit recorded as ``phase``
+        plus a per-component stage breakdown note (``wb:<phase>``) so
+        blame analysis can split wire time into PCI-X / NIC / link /
+        switch shares; the null span keeps this allocation-free.
         """
         if size < 0:
             raise NetworkError(f"negative payload size: {size}")
         self.messages_sent += 1
         self.bytes_sent += size
         stages = self.payload_stages(dst_nic)
+        start = self.sim.now
+        if span.live:
+            span.note("wb:" + phase, stage_breakdown(stages, size))
         faults = self.sim.faults
         if (
             faults is None
@@ -135,18 +151,22 @@ class Nic:
             # Pristine path — also taken for NIC loopback, which never
             # touches a wire.
             end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
-            return end
-        end = yield from self._push_with_link_faults(dst_nic, stages, size, faults)
+        else:
+            end = yield from self._push_with_link_faults(
+                dst_nic, stages, size, faults, span
+            )
+        span.phase(phase, start, end)
         return end
 
     def _push_with_link_faults(
-        self, dst_nic: "Nic", stages: List[Stage], size: int, faults
+        self, dst_nic: "Nic", stages: List[Stage], size: int, faults, span=NULL_SPAN
     ) -> Generator[Event, Any, float]:
         """Deliver one message across a lossy fabric (subclass recovery).
 
         The base class assumes a lossless wire and simply transfers; the
         technology models override this with their real recovery
-        machinery (IB end-to-end retransmit, Elan link-level retry).
+        machinery (IB end-to-end retransmit, Elan link-level retry),
+        annotating retries onto the lifecycle ``span``.
         """
         end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
         return end
@@ -177,6 +197,42 @@ class Nic:
     def memory_footprint(self, nprocs: int) -> int:
         """Per-process network buffer bytes for an ``nprocs``-process job."""
         raise NotImplementedError
+
+
+def stage_component(name: str) -> str:
+    """The blame component a pipeline stage belongs to, by naming scheme.
+
+    ``pcix*`` is the host bus, ``nictx*``/``nicrx*`` the adapter engines,
+    ``up*``/``down*`` the node-to-switch link directions, and everything
+    else (``l*->s*`` / ``s*->l*`` spine crossings) the switch.
+    """
+    if name.startswith("pcix"):
+        return "pcix"
+    if name.startswith(("nictx", "nicrx")):
+        return "nic"
+    if name.startswith(("up", "down")):
+        return "link"
+    return "switch"
+
+
+def stage_breakdown(stages: List[Stage], size: int) -> dict:
+    """Component shares of one wire transit's uncontended time.
+
+    Apportions each stage's serialization + outbound latency to its
+    component and normalizes to shares summing to 1.0.  Used to split a
+    recorded ``wire:*`` phase for the blame table; contention stretches
+    the phase but the stage mix is the best available attribution.
+    """
+    totals: dict = {}
+    for stage in stages:
+        comp = stage_component(stage.name)
+        totals[comp] = (
+            totals.get(comp, 0.0) + stage.serialization(size) + stage.latency_out
+        )
+    scale = sum(totals.values())
+    if scale <= 0.0:
+        return {}
+    return {comp: t / scale for comp, t in sorted(totals.items())}
 
 
 def attach_pair_stats(nics: List[Optional[Nic]]) -> dict:

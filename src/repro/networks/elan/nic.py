@@ -29,6 +29,7 @@ from ...errors import NetworkError
 from ...hardware.node import Cpu, Node
 from ...mpi.matching import Envelope, MatchQueue
 from ...sim import Event, transfer
+from ...telemetry.lifecycle import NULL_SPAN
 from ..base import NetRecord, Nic
 from ..params import ElanParams
 
@@ -54,6 +55,8 @@ class RxHandle:
     matched_size: int = -1
     matched_source: int = -1
     matched_tag: int = -1
+    #: Lifecycle span of the receive (null span when telemetry off).
+    span: Any = NULL_SPAN
 
 
 @dataclass
@@ -118,6 +121,10 @@ class ElanNic(Nic):
         self._h_match_cost = sim.metrics.histogram("elan.thread.match_cost_us")
         self._c_unexpected = sim.metrics.counter("elan.thread.unexpected_parked")
         self._c_link_retries = sim.metrics.counter("elan.link.crc_retries")
+        #: Tports system-buffer occupancy channel (null when sampling off).
+        self._ch_buffered = sim.telemetry.series.channel(
+            f"elan{node.node_id}.buffered_bytes"
+        )
 
     # -- rank attach -----------------------------------------------------------
 
@@ -171,7 +178,7 @@ class ElanNic(Nic):
     # -- link-level recovery ---------------------------------------------------
 
     def _push_with_link_faults(
-        self, dst_nic, stages, size, faults
+        self, dst_nic, stages, size, faults, span=NULL_SPAN
     ) -> Generator[Event, Any, float]:
         """Link-level CRC detect + immediate hardware retry (Elan-4).
 
@@ -200,6 +207,7 @@ class ElanNic(Nic):
         if retries:
             self.link_retries += retries
             self._c_link_retries.inc(retries)
+            span.bump("elan_link_retries", retries)
             faults.elan_link_retries += retries
             self.sim.trace.log(
                 self.sim.now,
@@ -221,6 +229,7 @@ class ElanNic(Nic):
         dst_rank: int,
         tag: int,
         size: int,
+        span=NULL_SPAN,
     ) -> TxHandle:
         """Issue a Tports transmit; returns immediately with a handle.
 
@@ -236,7 +245,7 @@ class ElanNic(Nic):
         )
         handle = TxHandle(dst_rank=dst_rank, tag=tag, size=size, done=Event(self.sim))
         self.sim.spawn(
-            self._tx_proc(cpu, local_rank, dst_nic, dst_rank, tag, size, handle),
+            self._tx_proc(cpu, local_rank, dst_nic, dst_rank, tag, size, handle, span),
             name=f"elan.tx{local_rank}->{dst_rank}",
         )
         return handle
@@ -250,15 +259,18 @@ class ElanNic(Nic):
         tag: int,
         size: int,
         handle: TxHandle,
+        span=NULL_SPAN,
     ) -> Generator[Event, Any, None]:
+        start = self.sim.now
         yield from cpu.busy(self.params.command_post, kind="mpi")
+        span.phase("command_post", start, self.sim.now)
         if size > self.params.sync_threshold:
             yield from self._tx_large(
-                local_rank, dst_nic, dst_rank, tag, size, handle
+                local_rank, dst_nic, dst_rank, tag, size, handle, span
             )
         else:
             yield from self._tx_eager(
-                local_rank, dst_nic, dst_rank, tag, size, handle
+                local_rank, dst_nic, dst_rank, tag, size, handle, span
             )
 
     def _tx_eager(
@@ -269,12 +281,17 @@ class ElanNic(Nic):
         tag: int,
         size: int,
         handle: TxHandle,
+        span=NULL_SPAN,
     ) -> Generator[Event, Any, None]:
         record = NetRecord(
-            kind="tport", src_rank=local_rank, dst_rank=dst_rank, size=size, tag=tag
+            kind="tport", src_rank=local_rank, dst_rank=dst_rank, size=size,
+            tag=tag, span=span,
         )
-        yield from self.push(dst_nic, size + WIRE_HEADER_BYTES)
+        yield from self.push(
+            dst_nic, size + WIRE_HEADER_BYTES, span=span, phase="wire:tport"
+        )
         handle.done.succeed(self.sim.now)
+        span.finish(self.sim.now)
         # Arrival processing runs on the destination NIC thread.
         self.sim.spawn(
             dst_nic._rx_arrival(record), name=f"elan.arr{dst_rank}"
@@ -288,6 +305,7 @@ class ElanNic(Nic):
         tag: int,
         size: int,
         handle: TxHandle,
+        span=NULL_SPAN,
     ) -> Generator[Event, Any, None]:
         go_event = Event(self.sim)
         record = NetRecord(
@@ -296,16 +314,24 @@ class ElanNic(Nic):
             dst_rank=dst_rank,
             size=size,
             tag=tag,
+            span=span,
         )
         probe = _Probe(record=record, src_nic=self, go_event=go_event)
-        yield from self.push(dst_nic, PROBE_BYTES)
+        yield from self.push(dst_nic, PROBE_BYTES, span=span, phase="wire:probe")
         self.sim.spawn(dst_nic._probe_arrival(probe), name=f"elan.probe{dst_rank}")
         pair_id = yield go_event
         # Matching receive exists; move the payload NIC-to-NIC.
-        yield from self.push(dst_nic, size + WIRE_HEADER_BYTES)
+        rx = dst_nic._paired.get(pair_id)
+        if rx is not None:
+            span.edge(self.sim.now, rx.span, "go")
+        yield from self.push(
+            dst_nic, size + WIRE_HEADER_BYTES, span=span, phase="wire:payload"
+        )
         handle.done.succeed(self.sim.now)
+        span.finish(self.sim.now)
         self.sim.spawn(
-            dst_nic._payload_arrival(pair_id, size), name=f"elan.pay{dst_rank}"
+            dst_nic._payload_arrival(pair_id, size, span),
+            name=f"elan.pay{dst_rank}",
         )
 
     # -- receive ----------------------------------------------------------------------
@@ -317,6 +343,7 @@ class ElanNic(Nic):
         source: int,
         tag: int,
         max_size: int,
+        span=NULL_SPAN,
     ) -> RxHandle:
         """Post a Tports receive; returns immediately with a handle.
 
@@ -325,7 +352,8 @@ class ElanNic(Nic):
         again (independent progress).
         """
         handle = RxHandle(
-            source=source, tag=tag, max_size=max_size, done=Event(self.sim)
+            source=source, tag=tag, max_size=max_size, done=Event(self.sim),
+            span=span,
         )
         self.sim.spawn(
             self._post_rx_proc(cpu, local_rank, handle),
@@ -336,7 +364,9 @@ class ElanNic(Nic):
     def _post_rx_proc(
         self, cpu: Cpu, local_rank: int, handle: RxHandle
     ) -> Generator[Event, Any, None]:
+        start = self.sim.now
         yield from cpu.busy(self.params.command_post, kind="mpi")
+        handle.span.phase("command_post", start, self.sim.now)
         posting = Envelope(handle.source, handle.tag)
         unexpected = self._unexpected[local_rank]
         posted = self._posted[local_rank]
@@ -362,6 +392,7 @@ class ElanNic(Nic):
 
             def effect():
                 self.buffered_bytes -= record.size
+                self._ch_buffered.record(self.sim.now, self.buffered_bytes)
                 return ("data", record)
             return cost, effect
 
@@ -370,15 +401,26 @@ class ElanNic(Nic):
             return
         kind, item = result
         if kind == "data":
-            self._complete_rx(handle, item)
+            record: NetRecord = item
+            handle.span.relabel("tport")
+            handle.span.note("matched_on_arrival", 0)
+            handle.span.edge(record.span.last_end, record.span, "nic_match")
+            self._complete_rx(handle, record)
             yield self.sim.timeout(0.0)
         else:
             probe: _Probe = item
+            handle.span.relabel("tport-sync")
+            handle.span.note("matched_on_arrival", 0)
+            handle.span.edge(
+                probe.record.span.last_end, probe.record.span, "nic_match"
+            )
             self._pair_seq += 1
             pair_id = self._pair_seq
             self._paired[pair_id] = handle
             # Send "go" back to the source NIC: pure NIC-to-NIC traffic.
-            yield from self.push(probe.src_nic, GO_BYTES)
+            yield from self.push(
+                probe.src_nic, GO_BYTES, span=handle.span, phase="wire:go"
+            )
             probe.go_event.succeed(pair_id)
 
     # -- arrival handlers (run at the destination NIC) -------------------------------
@@ -403,6 +445,7 @@ class ElanNic(Nic):
                 # Park payload in the Tports system buffer.
                 self._c_unexpected.inc()
                 self.buffered_bytes += record.size
+                self._ch_buffered.record(self.sim.now, self.buffered_bytes)
                 if self.buffered_bytes > self.max_buffered_bytes:
                     self.max_buffered_bytes = self.buffered_bytes
                 if self.buffered_bytes > p.system_buffer_bytes:
@@ -422,6 +465,9 @@ class ElanNic(Nic):
             f"from r{record.src_rank} tag={record.tag} size={record.size}",
         )
         if handle is not None:
+            handle.span.relabel("tport")
+            handle.span.note("matched_on_arrival", 1)
+            handle.span.edge(record.span.last_end, record.span, "nic_match")
             self._complete_rx(handle, record)
 
     def _probe_arrival(self, probe: _Probe) -> Generator[Event, Any, None]:
@@ -443,16 +489,21 @@ class ElanNic(Nic):
 
         handle = yield from self._thread_run(cost_fn)
         if handle is not None:
+            handle.span.relabel("tport-sync")
+            handle.span.note("matched_on_arrival", 1)
+            handle.span.edge(record.span.last_end, record.span, "nic_match")
             self._pair_seq += 1
             pair_id = self._pair_seq
             self._paired[pair_id] = handle
             handle.matched_source = record.src_rank
             handle.matched_tag = record.tag
-            yield from self.push(probe.src_nic, GO_BYTES)
+            yield from self.push(
+                probe.src_nic, GO_BYTES, span=handle.span, phase="wire:go"
+            )
             probe.go_event.succeed(pair_id)
 
     def _payload_arrival(
-        self, pair_id: int, size: int
+        self, pair_id: int, size: int, span=NULL_SPAN
     ) -> Generator[Event, Any, None]:
         handle = self._paired.pop(pair_id, None)
         if handle is None:
@@ -463,12 +514,14 @@ class ElanNic(Nic):
             return p.thread_dma_setup, lambda: None
 
         yield from self._thread_run(cost_fn)
+        handle.span.edge(span.last_end, span, "dma_setup")
         record = NetRecord(
             kind="tport",
             src_rank=handle.matched_source,
             dst_rank=-1,
             size=size,
             tag=handle.matched_tag,
+            span=span,
         )
         self._complete_rx(handle, record)
 
@@ -476,6 +529,8 @@ class ElanNic(Nic):
         from ...errors import TruncationError
 
         if record.size > handle.max_size:
+            handle.span.note("error", "truncation")
+            handle.span.finish(self.sim.now)
             handle.done.fail(
                 TruncationError(
                     f"message of {record.size} B truncates receive of "
@@ -487,6 +542,9 @@ class ElanNic(Nic):
         handle.matched_source = record.src_rank
         handle.matched_tag = record.tag
         # Event word write + host observation latency.
+        now = self.sim.now
+        handle.span.phase("event_delivery", now, now + self.params.event_delivery)
+        handle.span.finish(now + self.params.event_delivery)
         self.sim.spawn(
             _delayed_succeed(self.sim, self.params.event_delivery, handle.done),
             name="elan.evt",

@@ -19,6 +19,7 @@ from ...errors import NetworkError, QueuePairError, RetryExhaustedError
 from ...faults.recovery import ib_retry_schedule
 from ...hardware.node import Cpu, Node
 from ...sim import Event, Store, transfer
+from ...telemetry.lifecycle import NULL_SPAN
 from ..base import NetRecord, Nic
 from ..params import IBParams
 from .memreg import RegistrationCache
@@ -130,10 +131,12 @@ class Hca(Nic):
             raise QueuePairError(
                 f"rank {local_rank} has no queue pair to rank {record.dst_rank}"
             )
+        start = self.sim.now
         yield from cpu.busy(self.params.wqe_post, kind="mpi")
         # Injected doorbell/DMA-engine stall: the WQE is posted but the
         # HCA picks it up late (transient, invisible to the host).
         yield from self._maybe_stall()
+        record.span.phase("wqe_post", start, self.sim.now)
         done = Event(self.sim)
         self.sim.spawn(
             self._wire_proc(dst_hca, record, done),
@@ -144,7 +147,12 @@ class Hca(Nic):
     def _wire_proc(
         self, dst_hca: "Hca", record: NetRecord, done: Event
     ) -> Generator[Event, Any, None]:
-        end = yield from self.push(dst_hca, record.size + WIRE_HEADER_BYTES)
+        end = yield from self.push(
+            dst_hca,
+            record.size + WIRE_HEADER_BYTES,
+            span=record.span,
+            phase="wire:" + record.kind,
+        )
         dst_hca._deliver(record)
         done.succeed(end)
 
@@ -167,8 +175,10 @@ class Hca(Nic):
             raise QueuePairError(
                 f"rank {local_rank} has no queue pair to rank {record.src_rank}"
             )
+        start = self.sim.now
         yield from cpu.busy(self.params.wqe_post, kind="mpi")
         yield from self._maybe_stall()
+        record.span.phase("wqe_post", start, self.sim.now)
         done = Event(self.sim)
         self.sim.spawn(
             self._read_proc(src_hca, record, done),
@@ -180,17 +190,24 @@ class Hca(Nic):
         self, src_hca: "Hca", record: NetRecord, done: Event
     ) -> Generator[Event, Any, None]:
         # Read request to the source NIC (header-only packet)...
-        yield from self.push(src_hca, WIRE_HEADER_BYTES)
+        yield from self.push(
+            src_hca, WIRE_HEADER_BYTES, span=record.span, phase="wire:rreq"
+        )
         yield self.sim.timeout(self.params.rdma_read_request)
         # ...then the source NIC streams the payload back.
-        end = yield from src_hca.push(self, record.size + WIRE_HEADER_BYTES)
+        end = yield from src_hca.push(
+            self,
+            record.size + WIRE_HEADER_BYTES,
+            span=record.span,
+            phase="wire:" + record.kind,
+        )
         self._deliver(record)
         done.succeed(end)
 
     # -- reliable-connection recovery ---------------------------------------------
 
     def _push_with_link_faults(
-        self, dst_nic, stages, size, faults
+        self, dst_nic, stages, size, faults, span=NULL_SPAN
     ) -> "Generator[Event, Any, float]":
         """End-to-end retransmit, the 4X InfiniBand recovery model.
 
@@ -228,6 +245,8 @@ class Hca(Nic):
             self.retransmits += 1
             self._c_retransmits.inc()
             self._c_timeout_us.inc(timeout)
+            span.bump("ib_retransmits")
+            span.bump("ib_timeout_us", timeout)
             faults.ib_retransmits += 1
             faults.ib_timeout_us += timeout
             self.sim.trace.log(

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Generator, Hashable, Tuple
 from ...errors import RegistrationError
 from ...hardware.node import Cpu
 from ...sim import Event
+from ...telemetry.lifecycle import NULL_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...sim import Simulator
@@ -51,6 +52,10 @@ class RegistrationCache:
         self._c_hits = sim.metrics.counter("mvapich.reg_cache.hits")
         self._c_misses = sim.metrics.counter("mvapich.reg_cache.misses")
         self._c_evictions = sim.metrics.counter("mvapich.reg_cache.evictions")
+        #: Pinned-bytes channel for the series sampler (null when off).
+        self._ch_bytes = sim.telemetry.series.channel(
+            f"mvapich.reg_cache.{name or 'anon'}.bytes"
+        )
 
     # -- cost helpers -----------------------------------------------------------
 
@@ -65,7 +70,9 @@ class RegistrationCache:
         """Host time to unpin and deregister ``size`` bytes."""
         return self.params.dereg_base + self.params.dereg_per_page * self._pages(size)
 
-    def _injected_failures(self, cpu: Cpu) -> Generator[Event, Any, None]:
+    def _injected_failures(
+        self, cpu: Cpu, span=NULL_SPAN
+    ) -> Generator[Event, Any, None]:
         """Charge injected transient registration failures, if any.
 
         Each failed ``ibv_reg_mr``-equivalent burns the base syscall cost
@@ -82,6 +89,7 @@ class RegistrationCache:
         if failures == 0:
             return
         self.transient_failures += failures
+        span.bump("reg_transient_failures", failures)
         self.sim.trace.log(
             self.sim.now,
             "fault.reg",
@@ -98,7 +106,7 @@ class RegistrationCache:
     # -- main entry point ----------------------------------------------------------
 
     def ensure(
-        self, cpu: Cpu, key: Hashable, size: int
+        self, cpu: Cpu, key: Hashable, size: int, span=NULL_SPAN
     ) -> Generator[Event, Any, None]:
         """Make the region ``(key, size)`` registered, charging host time.
 
@@ -106,19 +114,26 @@ class RegistrationCache:
         until the region fits, then the registration itself.  All costs run
         on the calling rank's CPU, attributed to MPI overhead — this is
         work a Quadrics host never does.
+
+        A live lifecycle ``span`` records the host time as a
+        ``registration`` phase on a miss and a ``reg_lookup`` phase on a
+        hit, so blame analysis separates pin-down thrash from cheap
+        cache lookups.
         """
         if size < 0:
             raise RegistrationError(f"negative region size: {size}")
         size = max(size, 1)
+        start = self.sim.now
         if size > self.params.reg_cache_bytes:
             # Region can never be cached: register and deregister every time.
-            yield from self._injected_failures(cpu)
+            yield from self._injected_failures(cpu, span)
             self.misses += 1
             self._c_misses.inc()
             self.registered_pages_total += self._pages(size)
             yield from cpu.busy(
                 self.register_cost(size) + self.deregister_cost(size), kind="mpi"
             )
+            span.phase("registration", start, self.sim.now)
             return
         cached = self._regions.get(key)
         if cached is not None and cached >= size:
@@ -126,9 +141,10 @@ class RegistrationCache:
             self.hits += 1
             self._c_hits.inc()
             yield from cpu.busy(self.params.reg_cache_hit, kind="mpi")
+            span.phase("reg_lookup", start, self.sim.now)
             return
         # Miss (absent, or cached smaller than needed -> re-register).
-        yield from self._injected_failures(cpu)
+        yield from self._injected_failures(cpu, span)
         self.misses += 1
         self._c_misses.inc()
         cost = 0.0
@@ -146,7 +162,9 @@ class RegistrationCache:
         self.registered_pages_total += self._pages(size)
         self._regions[key] = size
         self._bytes += size
+        self._ch_bytes.record(self.sim.now, self._bytes)
         yield from cpu.busy(cost, kind="mpi")
+        span.phase("registration", start, self.sim.now)
 
     # -- introspection ------------------------------------------------------------
 

@@ -67,6 +67,10 @@ class Simulator:
         #: Shorthand for ``telemetry.metrics`` — the registry model code
         #: fetches instruments from at construction time.
         self.metrics = self.telemetry.metrics
+        #: Shorthands for the per-message span recorder and the series
+        #: bank (null singletons when disabled, like the registry).
+        self.lifecycle = self.telemetry.lifecycle
+        self.series = self.telemetry.series
         #: Every FifoResource / Store built on this simulator, in
         #: construction order; the metrics snapshot walks the named ones.
         self.resources: List["FifoResource"] = []

@@ -17,6 +17,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Generator, Optional
 
 from ..errors import SimulationError
+from ..telemetry.series import NULL_CHANNEL
 from .events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,6 +82,14 @@ class FifoResource:
         #: is attached; ``None`` keeps the hot path branch-cheap.
         self._timeline = sim.telemetry.timeline if name else None
         self._grant_times: dict = {}
+        #: Change-driven occupancy channel for the series sampler (the
+        #: shared null channel when sampling is off or the resource is
+        #: anonymous) — fetched once here so grants pay one method call.
+        self._series = (
+            sim.telemetry.series.channel(f"resource.{name}.in_use")
+            if name
+            else NULL_CHANNEL
+        )
         sim.resources.append(self)
 
     # -- acquisition -------------------------------------------------------
@@ -116,6 +125,7 @@ class FifoResource:
             self._busy_since = self.sim.now
         if self._timeline is not None:
             self._grant_times[ev] = self.sim.now
+        self._series.record(self.sim.now, self._in_use)
         ev.succeed(requested_at)
 
     def release(self, req: Event) -> None:
@@ -131,6 +141,7 @@ class FifoResource:
             raise SimulationError(f"release() of idle resource {self.name!r}")
         self._occ_update()
         self._in_use -= 1
+        self._series.record(self.sim.now, self._in_use)
         if self._timeline is not None:
             started = self._grant_times.pop(req, None)
             if started is not None:
@@ -201,6 +212,12 @@ class Store:
         self.total_puts = 0
         #: Most items ever queued at once (delivery-backlog high-water mark).
         self.depth_hwm = 0
+        #: Queue-depth channel for the series sampler (null when off).
+        self._series = (
+            sim.telemetry.series.channel(f"store.{name}.depth")
+            if name
+            else NULL_CHANNEL
+        )
         sim.stores.append(self)
 
     def put(self, item: Any) -> None:
@@ -212,12 +229,14 @@ class Store:
             self._items.append(item)
             if len(self._items) > self.depth_hwm:
                 self.depth_hwm = len(self._items)
+            self._series.record(self.sim.now, len(self._items))
 
     def get(self) -> Event:
         """Event delivering the oldest item (immediately if available)."""
         ev = StoreGet(self.sim, self)
         if self._items:
             ev.succeed(self._items.popleft())
+            self._series.record(self.sim.now, len(self._items))
         else:
             self._getters.append(ev)
         return ev
@@ -234,7 +253,9 @@ class Store:
     def try_get(self) -> Optional[Any]:
         """Non-blocking pop: the oldest item or ``None``."""
         if self._items:
-            return self._items.popleft()
+            item = self._items.popleft()
+            self._series.record(self.sim.now, len(self._items))
+            return item
         return None
 
     def __len__(self) -> int:

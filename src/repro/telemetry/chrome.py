@@ -10,6 +10,10 @@ Event sources:
 
 * :class:`~.stream.Timeline` spans/instants — resource occupancy
   intervals recorded by :class:`~repro.sim.FifoResource`;
+* :class:`~.lifecycle.LifecycleRecorder` message spans — one complete
+  event per recorded phase, on one track per owning rank;
+* :class:`~.series.SeriesBank` channels — counter (``ph: "C"``) events,
+  one track per channel, so gauge history renders as area charts;
 * legacy :class:`~repro.sim.Tracer` records — protocol events, exported
   as instants on one track per category.
 
@@ -82,6 +86,39 @@ def chrome_trace(
                     "tid": tid,
                 }
             )
+    lifecycle = sim.telemetry.lifecycle
+    if lifecycle.enabled:
+        for span in lifecycle.spans:
+            track = f"msg.r{span.owner}"
+            tid = tid_of(track)
+            for phase, t0, t1 in span.phases:
+                events.append(
+                    {
+                        "name": phase,
+                        "cat": f"lifecycle.{span.kind}.{span.proto}",
+                        "ph": "X",
+                        "ts": t0,
+                        "dur": t1 - t0,
+                        "pid": PID,
+                        "tid": tid,
+                        "args": {"span": span.id, "size": span.size},
+                    }
+                )
+    series = sim.telemetry.series
+    if series.enabled:
+        for name in sorted(series.channels):
+            tid = tid_of(f"series.{name}")
+            for ts, value in series.channels[name].points:
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": PID,
+                        "tid": tid,
+                        "args": {"value": value},
+                    }
+                )
     if tracer is not None:
         for ts, category, message in tracer.records:
             events.append(
@@ -117,6 +154,15 @@ def chrome_trace(
                 "args": {"name": track},
             }
         )
+    dropped: Dict[str, Any] = {
+        "lifecycle": dict(sorted(lifecycle.dropped_by_category.items())),
+        "series": dict(sorted(series.dropped_by_channel.items())),
+        "timeline": (
+            dict(sorted(timeline.dropped_by_category.items()))
+            if timeline is not None
+            else {}
+        ),
+    }
     return {
         "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
@@ -124,6 +170,7 @@ def chrome_trace(
             "label": label,
             "version": __version__,
             "metrics": snapshot(sim),
+            "dropped": dropped,
         },
     }
 

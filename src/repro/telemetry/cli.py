@@ -132,6 +132,40 @@ def cmd_summarize(args: argparse.Namespace) -> int:
         top = sorted(busy.items(), key=lambda kv: -kv[1])[:10]
         for tid, total in top:
             print(f"  {tracks.get(tid, str(tid)):32s} {total:.3f}us")
+    if args.top:
+        slow = sorted(
+            (e for e in events if e["ph"] == "X"),
+            key=lambda e: (-e["dur"], e["ts"], e["tid"]),
+        )[: args.top]
+        print(f"slowest {len(slow)} spans:")
+        for event in slow:
+            track = tracks.get(event["tid"], str(event["tid"]))
+            print(
+                f"  {event['dur']:12.3f}us {track:24s} "
+                f"{event.get('cat', '')}: {event['name']} @ {event['ts']:.3f}"
+            )
+    if args.phase:
+        hist: Dict[tuple, List[float]] = {}
+        for event in events:
+            if event["ph"] != "X":
+                continue
+            hist.setdefault((event.get("cat", ""), event["name"]), []).append(
+                event["dur"]
+            )
+        print(f"phase histogram: {len(hist)} (category, name) cells")
+        for (cat, name), durs in sorted(hist.items()):
+            total = sum(durs)
+            print(
+                f"  {cat:28s} {name:20s} n={len(durs):6d} "
+                f"total={total:12.3f}us mean={total / len(durs):10.3f}us "
+                f"max={max(durs):10.3f}us"
+            )
+    dropped = other.get("dropped") or {}
+    if any(dropped.values()):
+        print("dropped records (cap hit):")
+        for source, by_cat in sorted(dropped.items()):
+            for cat, count in sorted(by_cat.items()):
+                print(f"  {source}.{cat}: {count}")
     metrics = other.get("metrics") or {}
     if metrics:
         print(f"metrics: {len(metrics)}")
@@ -200,6 +234,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     summ = sub.add_parser("summarize", help="aggregate one trace")
     summ.add_argument("file")
+    summ.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also list the N slowest complete events",
+    )
+    summ.add_argument(
+        "--phase",
+        action="store_true",
+        help="also print a per-(category, name) duration histogram",
+    )
     summ.set_defaults(func=cmd_summarize)
 
     diff = sub.add_parser(

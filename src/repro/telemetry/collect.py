@@ -1,12 +1,17 @@
 """The per-simulator telemetry bundle and the metrics snapshot.
 
 One :class:`Telemetry` object rides on each :class:`~repro.sim.Simulator`
-(``sim.telemetry``).  It bundles the two collection surfaces:
+(``sim.telemetry``).  It bundles the four collection surfaces:
 
 * ``metrics`` — a :class:`~.registry.MetricsRegistry` (or the shared
   null registry when disabled) fed by the protocol models;
 * ``timeline`` — a :class:`~.stream.Timeline` (or ``None``) fed by
-  resource occupancy spans, for the Chrome trace exporter.
+  resource occupancy spans, for the Chrome trace exporter;
+* ``lifecycle`` — a :class:`~.lifecycle.LifecycleRecorder` (or the
+  shared null recorder) of per-message protocol-phase spans;
+* ``series`` — a :class:`~.series.SeriesBank` (or the shared null bank)
+  of change-driven occupancy/gauge channels, resampled onto a Δt grid
+  at export.
 
 :func:`snapshot` flattens everything observable about a finished run —
 registry instruments, per-resource busy/utilization/queue statistics,
@@ -20,7 +25,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
+from .lifecycle import LifecycleRecorder, NULL_LIFECYCLE, _NullLifecycle
 from .registry import MetricsRegistry, NULL_REGISTRY, NullRegistry
+from .series import NULL_SERIES, SeriesBank, _NullSeries
 from .stream import Timeline
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,6 +44,10 @@ class Telemetry:
         metrics: bool = True,
         timeline: bool = False,
         timeline_limit: int = 1_000_000,
+        lifecycle: bool = False,
+        lifecycle_limit: int = 200_000,
+        series: bool = False,
+        series_limit: int = 500_000,
     ) -> None:
         self.metrics: Union[MetricsRegistry, NullRegistry] = (
             MetricsRegistry() if metrics else NULL_REGISTRY
@@ -44,16 +55,27 @@ class Telemetry:
         self.timeline: Optional[Timeline] = (
             Timeline(timeline_limit) if timeline else None
         )
+        self.lifecycle: Union[LifecycleRecorder, _NullLifecycle] = (
+            LifecycleRecorder(lifecycle_limit) if lifecycle else NULL_LIFECYCLE
+        )
+        self.series: Union[SeriesBank, _NullSeries] = (
+            SeriesBank(series_limit) if series else NULL_SERIES
+        )
 
     @property
     def enabled(self) -> bool:
         """Whether any collection surface is live."""
-        return self.metrics.enabled or self.timeline is not None
+        return (
+            self.metrics.enabled
+            or self.timeline is not None
+            or self.lifecycle.enabled
+            or self.series.enabled
+        )
 
 
 #: The shared disabled bundle a plain ``Simulator()`` uses.  Stateless —
-#: its registry is the null singleton and it has no timeline — so every
-#: untelemetered simulator can safely share it.
+#: registry, lifecycle and series are the null singletons and it has no
+#: timeline — so every untelemetered simulator can safely share it.
 DISABLED = Telemetry(metrics=False, timeline=False)
 
 

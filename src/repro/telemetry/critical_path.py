@@ -1,0 +1,193 @@
+"""Critical-path extraction and per-component blame over message spans.
+
+Given the completed span graph of a run, :func:`critical_path` walks
+*backwards* from the last completion, at every step asking "what
+explains the time just before ``t``?" and picking the latest of three
+candidates:
+
+* an **own phase** of the current span overlapping ``(..., t)`` — emit
+  it (plus an unexplained ``wait`` gap if it ends short of ``t``);
+* a **dependency edge** at ``t_e <= t`` — emit the edge's bridge label
+  over ``[t_e, t]`` (the match / poll / go work between the producer's
+  effect landing and this span's next own phase) and jump into the
+  producer span;
+* the span owner's **previous span** (``prev_id`` chain) — emit an
+  ``app`` gap and continue there: the rank was busy with other work.
+
+This is what lets waits stay implicit: a gap before an eager copy
+becomes ``host_match`` time if the message had already arrived,
+``app`` time if the receiver posted late, and ``wait`` only when
+nothing explains it.  The walk terminates at the first span's posting
+time; a segment budget guards against pathological graphs.
+
+:func:`blame` folds the resulting segments into per-component and
+per-phase totals.  Wire segments are split across
+pcix / nic / link / switch using the stage-serialization breakdown note
+the network layer attaches to each span (``wb:wire:*``), so "wire time"
+is not a black box — PCI-X DMA, NIC engines, link serialization and
+switch crossings are charged separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from .lifecycle import MessageSpan, component_of
+
+#: Time comparison slack, well below any modelled cost (us).
+EPS = 1e-9
+
+_NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One critical-path piece: ``phase`` of span ``span_id`` on rank
+    ``owner`` covering ``[start, end]``."""
+
+    span_id: int
+    owner: int
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span": self.span_id,
+            "owner": self.owner,
+            "phase": self.phase,
+            "start": self.start,
+            "end": self.end,
+        }
+
+
+def critical_path(
+    spans: Iterable[MessageSpan],
+    end_span: Optional[MessageSpan] = None,
+    max_segments: int = 250_000,
+) -> List[Segment]:
+    """The longest dependency chain ending at ``end_span`` (default: the
+    last span to complete), as time-ordered segments."""
+    pool = [s for s in spans if s.live]
+    if not pool:
+        return []
+    by_id = {s.id: s for s in pool}
+    cur = end_span or max(pool, key=lambda s: (s.end, s.id))
+    t = cur.end
+    segments: List[Segment] = []
+    # Iteration bound besides the segment budget: a handful of steps make
+    # no progress in time (same-instant hops between overlapping spans),
+    # and candidate times are clipped to t below precisely so such hops
+    # resolve by priority instead of cycling — but a hard stop keeps even
+    # an adversarial graph finite.
+    steps = 4 * max_segments
+    while len(segments) < max_segments and steps > 0:
+        steps -= 1
+        # Candidate 1: the latest own phase active strictly before t.
+        best_phase = None
+        e_phase = _NEG_INF
+        for ph in cur.phases:
+            if ph[1] < t - EPS:
+                e = ph[2] if ph[2] < t else t
+                if e > e_phase:
+                    e_phase, best_phase = e, ph
+        # Candidate 2: the latest dependency edge at or before t.
+        best_edge = None
+        e_edge = _NEG_INF
+        for ed in cur.edges:
+            if ed[0] <= t + EPS and ed[0] > e_edge and ed[1] in by_id:
+                e_edge, best_edge = ed[0], ed
+        if e_edge > t:
+            e_edge = t
+        # Candidate 3: the rank's previous span.  A previous span still
+        # running at t explains everything up to t — clip, don't let a
+        # later completion time outrank candidates that actually end here.
+        prev = by_id.get(cur.prev_id)
+        e_prev = prev.end if prev is not None else _NEG_INF
+        if e_prev > t:
+            e_prev = t
+
+        if best_phase is not None and e_phase >= e_edge - EPS and e_phase >= e_prev - EPS:
+            if e_phase < t - EPS:
+                segments.append(Segment(cur.id, cur.owner, "wait", e_phase, t))
+            name, start, _ = best_phase
+            if e_phase > start + EPS:
+                segments.append(Segment(cur.id, cur.owner, name, start, e_phase))
+            t = start
+            continue
+        if best_edge is not None and e_edge >= e_prev - EPS:
+            te, dep_id, label = best_edge
+            if te < t - EPS:
+                segments.append(Segment(cur.id, cur.owner, label, te, t))
+            cur = by_id[dep_id]
+            t = te if te < t else t
+            continue
+        if prev is not None:
+            if e_prev < t - EPS:
+                segments.append(Segment(cur.id, cur.owner, "app", e_prev, t))
+            cur = prev
+            t = e_prev if e_prev < t else t
+            continue
+        # First span of its rank: whatever remains is pre-span time.
+        if t > cur.t0 + EPS:
+            segments.append(Segment(cur.id, cur.owner, "wait", cur.t0, t))
+        break
+    segments.reverse()
+    return segments
+
+
+def blame(
+    segments: Iterable[Segment],
+    spans_by_id: Optional[Dict[int, MessageSpan]] = None,
+) -> Dict[str, Any]:
+    """Fold critical-path segments into component and phase blame tables.
+
+    Components: host / pcix / nic / link / switch / waiting / app.  Wire
+    segments split across pcix/nic/link/switch via the span's
+    ``wb:wire:*`` note when present (else all link).  Shares sum to 1.0
+    over the path's total duration.
+    """
+    spans_by_id = spans_by_id or {}
+    comp: Dict[str, float] = {}
+    phases: Dict[str, float] = {}
+    for seg in segments:
+        dur = seg.end - seg.start
+        if dur <= 0:
+            continue
+        phases[seg.phase] = phases.get(seg.phase, 0.0) + dur
+        breakdown = None
+        if seg.phase.startswith("wire:"):
+            span = spans_by_id.get(seg.span_id)
+            if span is not None:
+                breakdown = span.notes.get("wb:" + seg.phase)
+        if breakdown:
+            for name, share in breakdown.items():
+                comp[name] = comp.get(name, 0.0) + dur * share
+        else:
+            name = component_of(seg.phase)
+            comp[name] = comp.get(name, 0.0) + dur
+    total = sum(comp.values())
+    scale = total if total > 0 else 1.0
+    return {
+        "total_us": total,
+        "components": {
+            name: {"us": us, "share": us / scale}
+            for name, us in sorted(comp.items())
+        },
+        "phases": {
+            name: {"us": us, "share": us / scale}
+            for name, us in sorted(phases.items())
+        },
+    }
+
+
+def blame_of_spans(spans: Iterable[MessageSpan]) -> Dict[str, Any]:
+    """Convenience: critical path + blame of a span collection."""
+    pool = [s for s in spans if s.live]
+    by_id = {s.id: s for s in pool}
+    return blame(critical_path(pool), by_id)

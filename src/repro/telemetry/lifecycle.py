@@ -1,0 +1,363 @@
+"""Per-message lifecycle spans.
+
+A :class:`MessageSpan` is the biography of one MPI-level message on one
+side of the wire: a send or a recv, the protocol it travelled under, and
+every *phase* (a completed ``[t0, t1]`` interval of attributable work —
+an eager copy, a registration, a WQE post, a wire transit) plus the
+*edges* that tie it to the spans it depended on (the matching send, the
+CTS that released the data, the NIC go packet).  Phases are explicit
+intervals rather than ordered boundary marks because host and wire
+activity overlap freely within one span; gaps between phases are *waits*
+and are attributed later by the critical-path walk
+(:mod:`repro.telemetry.critical_path`), not stored.
+
+Model code never checks whether lifecycle collection is on: a disabled
+:class:`~.collect.Telemetry` hands out :data:`NULL_LIFECYCLE`, whose
+``start`` returns the shared :data:`NULL_SPAN` — every method a no-op,
+``live`` False — so the disabled hot path pays one attribute test or one
+empty call and allocates nothing, mirroring the null-instrument pattern
+of :mod:`~.registry`.
+
+Spans are recorded in start order (simulation order, therefore
+deterministic); the buffer is bounded, with per-category drop counts
+once the cap is hit so a truncated run is visibly truncated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: One completed phase: (name, start us, end us).
+Phase = Tuple[str, float, float]
+
+#: One dependency edge: (time us, producer span id, bridge label).  The
+#: time is when the producer's effect became visible to this span (e.g.
+#: wire delivery); the label names the work bridging that time to the
+#: span's next own phase ("host_match", "nic_match", "go", ...).
+Edge = Tuple[float, int, str]
+
+#: Which blame component each non-wire phase belongs to.  Wire phases
+#: ("wire:*") are split across pcix/nic/link/switch using the per-span
+#: stage breakdown note recorded by :meth:`repro.networks.base.Nic.push`.
+PHASE_COMPONENT: Dict[str, str] = {
+    # host CPU work
+    "eager_copy": "host",
+    "registration": "host",
+    "reg_lookup": "host",
+    "wqe_post": "host",
+    "command_post": "host",
+    "host_match": "host",
+    "host_poll": "host",
+    # NIC engine / thread work
+    "nic_match": "nic",
+    "dma_setup": "nic",
+    "event_delivery": "nic",
+    "go": "nic",
+    # attribution gaps
+    "credit_wait": "waiting",
+    "wait": "waiting",
+    "app": "app",
+}
+
+
+def component_of(phase: str) -> str:
+    """The blame component a phase name belongs to (wire phases -> link)."""
+    if phase.startswith("wire:"):
+        return "link"
+    return PHASE_COMPONENT.get(phase, "host")
+
+
+class MessageSpan:
+    """The recorded lifecycle of one message send or recv."""
+
+    __slots__ = (
+        "id",
+        "kind",
+        "owner",
+        "peer",
+        "tag",
+        "size",
+        "proto",
+        "t0",
+        "prev_id",
+        "phases",
+        "edges",
+        "notes",
+        "_last_end",
+        "_end",
+    )
+
+    #: Live spans record; the null span (live=False) silently drops.
+    live = True
+
+    def __init__(
+        self,
+        span_id: int,
+        kind: str,
+        owner: int,
+        peer: int,
+        tag: int,
+        size: int,
+        proto: str,
+        t0: float,
+        prev_id: int = -1,
+    ) -> None:
+        self.id = span_id
+        self.kind = kind
+        self.owner = owner
+        self.peer = peer
+        self.tag = tag
+        self.size = size
+        self.proto = proto
+        self.t0 = t0
+        self.prev_id = prev_id
+        self.phases: List[Phase] = []
+        self.edges: List[Edge] = []
+        self.notes: Dict[str, Any] = {}
+        self._last_end = t0
+        self._end: Optional[float] = None
+
+    def phase(self, name: str, t0: float, t1: float) -> None:
+        """Record a completed interval of attributable work."""
+        if t1 <= t0:
+            return
+        self.phases.append((name, t0, t1))
+        if t1 > self._last_end:
+            self._last_end = t1
+
+    def edge(self, t: float, dep: "MessageSpan", label: str) -> None:
+        """Record that ``dep``'s effect reached this span at time ``t``."""
+        if dep is self or not dep.live:
+            return
+        self.edges.append((t, dep.id, label))
+
+    def note(self, key: str, value: Any) -> None:
+        """Attach an annotation (fault counts, wire breakdowns, errors)."""
+        self.notes[key] = value
+
+    def relabel(self, proto: str) -> None:
+        """Set the protocol once known (a recv learns it at match time)."""
+        self.proto = proto
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment an integer annotation (retry/failure counters)."""
+        self.notes[key] = self.notes.get(key, 0) + amount
+
+    def finish(self, t: float) -> None:
+        """Pin the span's completion time (else the last phase end wins)."""
+        self._end = t
+        if t > self._last_end:
+            self._last_end = t
+
+    @property
+    def last_end(self) -> float:
+        """Latest recorded time on this span (phase end or finish)."""
+        return self._last_end
+
+    @property
+    def end(self) -> float:
+        """Completion time: explicit finish, else the last phase end."""
+        return self._end if self._end is not None else self._last_end
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, key order fixed for byte-identical dumps."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "owner": self.owner,
+            "peer": self.peer,
+            "tag": self.tag,
+            "size": self.size,
+            "proto": self.proto,
+            "t0": self.t0,
+            "end": self.end,
+            "prev": self.prev_id,
+            "phases": [list(p) for p in self.phases],
+            "edges": [list(e) for e in self.edges],
+            "notes": dict(sorted(self.notes.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MessageSpan(#{self.id} {self.kind} r{self.owner}<->r{self.peer} "
+            f"{self.proto} {self.size}B phases={len(self.phases)})"
+        )
+
+
+class _NullSpan:
+    """Shared inert span handed out when lifecycle collection is off."""
+
+    __slots__ = ()
+
+    live = False
+    id = -1
+    kind = ""
+    owner = -1
+    peer = -1
+    tag = 0
+    size = 0
+    proto = ""
+    t0 = 0.0
+    prev_id = -1
+    phases: Tuple[Phase, ...] = ()
+    edges: Tuple[Edge, ...] = ()
+    notes: Dict[str, Any] = {}
+    last_end = 0.0
+    end = 0.0
+
+    def phase(self, name: str, t0: float, t1: float) -> None:
+        pass
+
+    def edge(self, t: float, dep: Any, label: str) -> None:
+        pass
+
+    def note(self, key: str, value: Any) -> None:
+        pass
+
+    def relabel(self, proto: str) -> None:
+        pass
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        pass
+
+    def finish(self, t: float) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+
+#: The shared no-op span.  ``record.span`` and ``request.span`` default
+#: to it, so uninstrumented paths never test for None.
+NULL_SPAN = _NullSpan()
+
+
+class LifecycleRecorder:
+    """Bounded, deterministic store of :class:`MessageSpan` objects.
+
+    Span ids are assigned in start order; per-rank ``prev_id`` chains
+    (the previous span *started* by the same rank) let the critical-path
+    walk escape into "the rank was busy elsewhere" without a full
+    program trace.  Once ``limit`` spans exist, further starts return
+    :data:`NULL_SPAN` and are counted per ``kind.proto`` category.
+    """
+
+    __slots__ = ("limit", "spans", "dropped_by_category", "_last_by_owner")
+
+    enabled = True
+
+    def __init__(self, limit: int = 200_000) -> None:
+        self.limit = limit
+        self.spans: List[MessageSpan] = []
+        self.dropped_by_category: Dict[str, int] = {}
+        self._last_by_owner: Dict[int, int] = {}
+
+    def start(
+        self,
+        kind: str,
+        owner: int,
+        peer: int,
+        tag: int,
+        size: int,
+        proto: str,
+        now: float,
+    ) -> MessageSpan:
+        """Open a span for a message ``kind`` ("send"/"recv") on ``owner``."""
+        if len(self.spans) >= self.limit:
+            category = f"{kind}.{proto}"
+            self.dropped_by_category[category] = (
+                self.dropped_by_category.get(category, 0) + 1
+            )
+            return NULL_SPAN  # type: ignore[return-value]
+        span = MessageSpan(
+            len(self.spans),
+            kind,
+            owner,
+            peer,
+            tag,
+            size,
+            proto,
+            now,
+            prev_id=self._last_by_owner.get(owner, -1),
+        )
+        self.spans.append(span)
+        self._last_by_owner[owner] = span.id
+        return span
+
+    @property
+    def dropped(self) -> int:
+        """Total spans dropped at the cap, across categories."""
+        return sum(self.dropped_by_category.values())
+
+    def summary(self) -> Dict[str, Any]:
+        """Cap accounting: stored spans, drops total and per category."""
+        return {
+            "spans": len(self.spans),
+            "dropped": self.dropped,
+            "dropped_by_category": dict(
+                sorted(self.dropped_by_category.items())
+            ),
+        }
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All spans as JSON-ready dicts (start order)."""
+        return [span.to_dict() for span in self.spans]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class _NullLifecycle:
+    """Shared disabled recorder: ``start`` hands out the null span."""
+
+    __slots__ = ()
+
+    enabled = False
+    limit = 0
+    spans: Tuple[MessageSpan, ...] = ()
+    dropped = 0
+    dropped_by_category: Dict[str, int] = {}
+
+    def start(
+        self,
+        kind: str,
+        owner: int,
+        peer: int,
+        tag: int,
+        size: int,
+        proto: str,
+        now: float,
+    ) -> _NullSpan:
+        return NULL_SPAN
+
+    def summary(self) -> Dict[str, Any]:
+        return {"spans": 0, "dropped": 0, "dropped_by_category": {}}
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled recorder used by untelemetered simulators.
+NULL_LIFECYCLE = _NullLifecycle()
+
+
+def matched_on_arrival_share(spans: Any) -> Optional[float]:
+    """Fraction of recv spans whose message hit a pre-posted receive.
+
+    This is the paper's Fig. 1 mechanism made a number: Elan-4's NIC
+    thread matches arrivals against descriptors already on the NIC
+    (share ~1 in ping-pong), while MVAPICH defers all matching to the
+    host's next MPI call (share 0 by construction).  Returns ``None``
+    when no recv span carries the annotation.
+    """
+    hits = total = 0
+    for span in spans:
+        flag = span.notes.get("matched_on_arrival")
+        if flag is None:
+            continue
+        total += 1
+        hits += 1 if flag else 0
+    return (hits / total) if total else None

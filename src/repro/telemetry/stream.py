@@ -76,7 +76,7 @@ class Timeline:
     allows it.
     """
 
-    __slots__ = ("limit", "spans", "instants", "_tracks", "dropped")
+    __slots__ = ("limit", "spans", "instants", "_tracks", "dropped_by_category")
 
     def __init__(self, limit: int = 1_000_000) -> None:
         self.limit = limit
@@ -84,7 +84,12 @@ class Timeline:
         self.instants: List[Instant] = []
         #: track name -> tid, in first-use (simulation) order.
         self._tracks: Dict[str, int] = {}
-        self.dropped = 0
+        self.dropped_by_category: Dict[str, int] = {}
+
+    @property
+    def dropped(self) -> int:
+        """Total records dropped at the cap, across categories."""
+        return sum(self.dropped_by_category.values())
 
     def tid(self, track: str) -> int:
         """The stable integer id of ``track``, assigned on first use."""
@@ -98,14 +103,18 @@ class Timeline:
     ) -> None:
         """Record a completed interval on ``track``."""
         if len(self.spans) + len(self.instants) >= self.limit:
-            self.dropped += 1
+            self.dropped_by_category[category] = (
+                self.dropped_by_category.get(category, 0) + 1
+            )
             return
         self.spans.append((self.tid(track), name, category, start, duration))
 
     def instant(self, track: str, name: str, category: str, now: float) -> None:
         """Record a point event on ``track``."""
         if len(self.spans) + len(self.instants) >= self.limit:
-            self.dropped += 1
+            self.dropped_by_category[category] = (
+                self.dropped_by_category.get(category, 0) + 1
+            )
             return
         self.instants.append((self.tid(track), name, category, now))
 

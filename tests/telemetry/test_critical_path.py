@@ -1,0 +1,146 @@
+"""Critical-path extraction and blame folding on hand-built span graphs."""
+
+import pytest
+
+from repro.telemetry.critical_path import (
+    Segment,
+    blame,
+    blame_of_spans,
+    critical_path,
+)
+from repro.telemetry.lifecycle import MessageSpan
+
+pytestmark = [pytest.mark.telemetry, pytest.mark.lifecycle]
+
+
+def _eager_pair(wb=None):
+    """A minimal send -> recv chain with a known longest path.
+
+    send #0 (rank 0):  wqe_post [0,1]  wire:eager [1,3]
+    recv #1 (rank 1):  host_match edge at t=3, eager_copy [3.5,4]
+    """
+    send = MessageSpan(0, "send", 0, 1, 0, 256, "eager", 0.0)
+    send.phase("wqe_post", 0.0, 1.0)
+    send.phase("wire:eager", 1.0, 3.0)
+    if wb is not None:
+        send.note("wb:wire:eager", wb)
+    send.finish(3.0)
+    recv = MessageSpan(1, "recv", 1, 0, 0, 256, "eager", 0.0)
+    recv.edge(3.0, send, "host_match")
+    recv.phase("eager_copy", 3.5, 4.0)
+    recv.finish(4.0)
+    return [send, recv]
+
+
+def test_walk_recovers_known_longest_chain():
+    spans = _eager_pair()
+    path = critical_path(spans)
+    assert [(s.phase, s.start, s.end) for s in path] == [
+        ("wqe_post", 0.0, 1.0),
+        ("wire:eager", 1.0, 3.0),
+        ("host_match", 3.0, 3.5),
+        ("eager_copy", 3.5, 4.0),
+    ]
+    # The path is contiguous and spans the whole run.
+    for a, b in zip(path, path[1:]):
+        assert a.end == b.start
+    assert path[0].start == 0.0 and path[-1].end == 4.0
+
+
+def test_blame_folds_components_with_known_shares():
+    spans = _eager_pair()
+    table = blame(critical_path(spans), {s.id: s for s in spans})
+    assert table["total_us"] == pytest.approx(4.0)
+    comp = {name: entry["us"] for name, entry in table["components"].items()}
+    # wqe_post + host_match + eager_copy = 1 + 0.5 + 0.5 host-us; the
+    # un-annotated wire segment falls back to link wholesale.
+    assert comp == pytest.approx({"host": 2.0, "link": 2.0})
+    shares = [entry["share"] for entry in table["components"].values()]
+    assert sum(shares) == pytest.approx(1.0)
+    assert table["phases"]["wire:eager"]["us"] == pytest.approx(2.0)
+
+
+def test_wire_breakdown_note_splits_the_wire_segment():
+    spans = _eager_pair(wb={"pcix": 0.25, "nic": 0.25, "link": 0.5})
+    table = blame_of_spans(spans)
+    comp = {name: entry["us"] for name, entry in table["components"].items()}
+    assert comp == pytest.approx(
+        {"host": 2.0, "pcix": 0.5, "nic": 0.5, "link": 1.0}
+    )
+
+
+def test_unexplained_gap_becomes_wait():
+    span = MessageSpan(0, "recv", 0, 1, 0, 0, "recv", 0.0)
+    span.phase("host_match", 0.0, 1.0)
+    span.finish(2.0)  # one silent microsecond after the last phase
+    path = critical_path([span])
+    assert [(s.phase, s.start, s.end) for s in path] == [
+        ("host_match", 0.0, 1.0),
+        ("wait", 1.0, 2.0),
+    ]
+    table = blame(path)
+    assert table["components"]["waiting"]["share"] == pytest.approx(0.5)
+
+
+def test_prev_chain_gap_becomes_app_time():
+    first = MessageSpan(0, "send", 0, 1, 0, 64, "eager", 0.0)
+    first.phase("wqe_post", 0.0, 1.0)
+    first.finish(1.0)
+    second = MessageSpan(1, "send", 0, 1, 0, 64, "eager", 2.0, prev_id=0)
+    second.finish(3.0)  # no phases: the rank was computing in between
+    path = critical_path([first, second], end_span=second)
+    assert ("app", 1.0, 3.0) in [(s.phase, s.start, s.end) for s in path]
+    assert path[0] == Segment(0, 0, "wqe_post", 0.0, 1.0)
+
+
+def test_priority_prefers_own_phase_over_stale_prev_span():
+    # Regression: a previous span still "running" past t (overlapping
+    # operations) must not outrank a phase ending exactly at t — that is
+    # the same-instant hop that used to cycle forever.
+    prev = MessageSpan(0, "send", 0, 1, 0, 64, "eager", 0.0)
+    prev.phase("x", 0.0, 20.0)
+    prev.finish(20.0)
+    cur = MessageSpan(1, "recv", 0, 1, 0, 64, "recv", 1.0, prev_id=0)
+    cur.phase("y", 1.0, 5.0)
+    cur.finish(5.0)
+    path = critical_path([prev, cur], end_span=cur)
+    assert [(s.phase, s.start, s.end) for s in path] == [
+        ("x", 0.0, 1.0),
+        ("y", 1.0, 5.0),
+    ]
+
+
+def test_mutual_edges_at_one_instant_terminate():
+    # Adversarial graph: two spans pointing at each other at the same
+    # time make no forward progress; the hard step bound must end the
+    # walk instead of hanging.
+    a = MessageSpan(0, "send", 0, 1, 0, 64, "eager", 0.0)
+    a.finish(10.0)
+    b = MessageSpan(1, "recv", 1, 0, 0, 64, "recv", 0.0)
+    b.finish(10.0)
+    a.edge(5.0, b, "m")
+    b.edge(5.0, a, "m")
+    path = critical_path([a, b], max_segments=50)
+    assert len(path) <= 50
+
+
+def test_empty_input_yields_empty_path_and_zero_blame():
+    assert critical_path([]) == []
+    table = blame_of_spans([])
+    assert table["total_us"] == 0
+    assert table["components"] == {} and table["phases"] == {}
+
+
+def test_segment_budget_caps_output():
+    spans = []
+    prev_id = -1
+    for i in range(20):
+        s = MessageSpan(i, "send", 0, 1, 0, 64, "eager", float(i), prev_id)
+        s.phase("wqe_post", float(i), i + 0.5)
+        s.finish(i + 0.5)
+        spans.append(s)
+        prev_id = i
+    full = critical_path(spans)
+    assert len(full) > 10
+    capped = critical_path(spans, max_segments=5)
+    assert len(capped) == 5
