@@ -1,0 +1,160 @@
+"""End-of-run conservation checks over a quiesced machine.
+
+A clean run must leave no residue: every granted resource slot released,
+every delivered record consumed, every eager-ring credit returned, the
+registration cache's byte count equal to the sum of its regions, every
+lifecycle span finished.  Residue means a protocol leak — a credit that
+never came back, a rendezvous pairing nobody completed — which usually
+*also* means the reported timings are missing work.
+
+:func:`check_invariants` walks a :class:`~repro.mpi.machine.Machine`
+after :meth:`~repro.mpi.machine.Machine.run` and returns a list of
+:class:`Violation` records; :func:`verify_invariants` raises a
+structured :class:`~repro.errors.InvariantViolation` instead.  Both are
+opt-in (``Machine.run(check_invariants=True)``) and cost nothing when
+unused — there is no instrumentation, only an end-of-run walk over
+state the models already keep.
+
+Model components own their domain knowledge: :class:`~repro.networks.ib.Hca`,
+:class:`~repro.networks.elan.ElanNic`,
+:class:`~repro.mpi.mvapich.impl.MvapichImpl` and
+:class:`~repro.mpi.qmpi.impl.QMpiImpl` each expose ``check_invariants()``
+returning plain problem dicts (``name``/``message``/``details``); this
+module aggregates them with the kernel-level and lifecycle checks and
+wraps everything in :class:`Violation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..errors import InvariantViolation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken end-of-run invariant."""
+
+    subsystem: str       #: e.g. ``"kernel"``, ``"hca[0]"``, ``"mvapich"``
+    name: str            #: invariant id, e.g. ``"credits_balanced"``
+    message: str         #: human-readable statement of the breakage
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.subsystem}.{self.name}: {self.message}"
+
+
+def _wrap(subsystem: str, problems: List[dict]) -> List[Violation]:
+    return [
+        Violation(
+            subsystem=subsystem,
+            name=str(p.get("name", "unknown")),
+            message=str(p.get("message", "")),
+            details=dict(p.get("details", {})),
+        )
+        for p in problems
+    ]
+
+
+def check_kernel(sim: Any) -> List[Violation]:
+    """Resource/store residue in the simulation kernel itself.
+
+    Every ``FifoResource`` must end with no granted slots and no queued
+    requests; every ``Store`` must end empty (undelivered items are lost
+    messages).  Blocked *getters* are allowed: daemon service loops
+    (progress threads, NIC service processes) legitimately quiesce
+    parked in ``get()``.
+    """
+    violations: List[Violation] = []
+    for resource in sim.resources:
+        label = resource.name or "anonymous"
+        if resource.in_use != 0:
+            violations.append(
+                Violation(
+                    "kernel",
+                    "resource_released",
+                    f"resource {label} ends with {resource.in_use} "
+                    f"slot(s) still granted",
+                    {"resource": label, "in_use": resource.in_use},
+                )
+            )
+        if resource.queue_length != 0:
+            violations.append(
+                Violation(
+                    "kernel",
+                    "resource_queue_drained",
+                    f"resource {label} ends with {resource.queue_length} "
+                    f"request(s) still queued",
+                    {"resource": label, "queued": resource.queue_length},
+                )
+            )
+    for store in sim.stores:
+        label = store.name or "anonymous"
+        if len(store) != 0:
+            violations.append(
+                Violation(
+                    "kernel",
+                    "store_drained",
+                    f"store {label} ends with {len(store)} undelivered "
+                    f"item(s)",
+                    {"store": label, "items": len(store)},
+                )
+            )
+    return violations
+
+
+def check_lifecycle(sim: Any) -> List[Violation]:
+    """Every recorded message span must be explicitly finished.
+
+    An unfinished span is a message whose completion the model never
+    observed — the lifecycle analogue of a leaked request.  Disabled
+    telemetry has no spans and passes vacuously.
+    """
+    unfinished = [
+        span for span in sim.telemetry.lifecycle.spans if not span.finished
+    ]
+    if not unfinished:
+        return []
+    sample = [
+        {
+            "id": span.id,
+            "kind": span.kind,
+            "owner": span.owner,
+            "peer": span.peer,
+            "proto": span.proto,
+            "size": span.size,
+        }
+        for span in unfinished[:10]
+    ]
+    return [
+        Violation(
+            "lifecycle",
+            "spans_finished",
+            f"{len(unfinished)} message span(s) were never finished",
+            {"unfinished": len(unfinished), "sample": sample},
+        )
+    ]
+
+
+def check_invariants(machine: Any) -> List[Violation]:
+    """All end-of-run invariant violations of one quiesced machine."""
+    violations = check_kernel(machine.sim)
+    for index, nic in enumerate(machine.nics):
+        checker = getattr(nic, "check_invariants", None)
+        if checker is not None:
+            label = f"{type(nic).__name__.lower()}[{index}]"
+            violations.extend(_wrap(label, checker()))
+    impl_checker = getattr(machine.impl, "check_invariants", None)
+    if impl_checker is not None:
+        label = "mvapich" if machine.network == "ib" else "qmpi"
+        violations.extend(_wrap(label, impl_checker()))
+    violations.extend(check_lifecycle(machine.sim))
+    return violations
+
+
+def verify_invariants(machine: Any) -> None:
+    """Raise :class:`~repro.errors.InvariantViolation` on any residue."""
+    violations = check_invariants(machine)
+    if violations:
+        raise InvariantViolation(violations, sim_time=machine.sim.now)

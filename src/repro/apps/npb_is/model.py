@@ -88,7 +88,9 @@ def is_program(config: IsConfig):
         volumes = _bucket_volumes(
             config,
             p,
-            np.random.default_rng(mpi.ctx.sim.rng.master_seed + 0x15),
+            np.random.default_rng(  # repro-lint: disable=RPR001
+                mpi.ctx.sim.rng.master_seed + 0x15
+            ),
         )
 
         yield from mpi.barrier()

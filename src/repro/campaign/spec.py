@@ -46,7 +46,13 @@ def _check_json_value(name: str, value: Any) -> None:
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One declarative measurement run (app x network x shape x seed)."""
+    """One declarative measurement run (app x network x shape x seed).
+
+    Field values must be plain data — no lambdas, closures or live
+    objects — so the spec pickles for parallel workers and hashes into
+    a stable cache key (``repro-lint`` rule RPR006 enforces this at
+    construction sites).
+    """
 
     app: str
     network: str

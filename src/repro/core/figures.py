@@ -68,7 +68,8 @@ class FigureData:
                 out += "\n\n" + ascii_plot(
                     self.series, log_x=self.log_x, title=self.title
                 )
-            except Exception:  # noqa: BLE001 - plots are best-effort extras
+            # Plots are best-effort extras; never fail a report over one.
+            except Exception:  # noqa: BLE001  # repro-lint: disable=RPR008
                 pass
         if self.notes:
             out += f"\n\n{self.notes}"

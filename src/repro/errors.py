@@ -60,6 +60,32 @@ class WatchdogError(SimulationError):
         super().__init__(text)
 
 
+class InvariantViolation(SimulationError):
+    """End-of-run conservation checks found residue in a quiesced run.
+
+    Raised by :func:`repro.analysis.invariants.verify_invariants` (and
+    ``Machine.run(check_invariants=True)``) when a run ends with held
+    resource slots, undelivered records, unbalanced eager-ring credits,
+    inconsistent registration-cache bytes or unfinished lifecycle
+    spans.  ``violations`` carries the structured
+    :class:`~repro.analysis.invariants.Violation` roster; the message
+    lists each one so the leak is identifiable without a debugger.
+    """
+
+    def __init__(self, violations, sim_time: float = 0.0) -> None:
+        self.violations = list(violations)
+        self.sim_time = sim_time
+        text = (
+            f"{len(self.violations)} invariant violation(s) at "
+            f"t={sim_time:.3f}us"
+        )
+        if self.violations:
+            text = "{}: {}".format(
+                text, "; ".join(str(v) for v in self.violations)
+            )
+        super().__init__(text)
+
+
 class ConfigurationError(ReproError):
     """Invalid model or study configuration (bad sizes, counts, prices...)."""
 

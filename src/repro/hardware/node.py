@@ -32,6 +32,10 @@ class Cpu:
         self.mpi_overhead_time = 0.0
         #: Accumulated busy time attributed to application compute.
         self.compute_time = 0.0
+        #: Issue-order counter: each busy slice carries its issue index
+        #: as tiebreak key — a rank's CPU work is sequential, so issue
+        #: order is program order (see Event.tiebreak_key).
+        self._op_seq = 0
 
     def busy(
         self, duration: float, kind: str = "compute"
@@ -41,7 +45,8 @@ class Cpu:
             raise ConfigurationError(f"negative CPU busy time: {duration}")
         if duration == 0.0:
             return
-        yield from self.resource.using(duration)
+        self._op_seq += 1
+        yield from self.resource.using(duration, key=self._op_seq)
         if kind == "mpi":
             self.mpi_overhead_time += duration
         else:
@@ -74,6 +79,9 @@ class Node:
         #: (host-based implementations only); co-resident compute slows
         #: while this is non-zero.
         self.spinning = 0
+        #: Issue-order counter for host copies (tiebreak keys on the
+        #: shared memory bus).
+        self._copy_seq = 0
 
     # -- pipeline stage builders -------------------------------------------
 
@@ -87,14 +95,24 @@ class Node:
             name=f"pcix{self.node_id}",
         )
 
-    def host_copy(self, nbytes: int) -> Generator[Event, Any, None]:
-        """A host memcpy of ``nbytes`` through the shared memory bus."""
+    def host_copy(
+        self, nbytes: int, key: Any = None
+    ) -> Generator[Event, Any, None]:
+        """A host memcpy of ``nbytes`` through the shared memory bus.
+
+        ``key`` overrides the default issue-order tiebreak key when the
+        caller has a semantically stronger identity for the copy (e.g.
+        the wire sequence number of the message being staged).
+        """
         if nbytes < 0:
             raise ConfigurationError(f"negative copy size: {nbytes}")
         if nbytes == 0:
             return
+        if key is None:
+            self._copy_seq += 1
+            key = self._copy_seq
         duration = nbytes / self.spec.copy_bandwidth
-        yield from self.membus.using(duration)
+        yield from self.membus.using(duration, key=key)
 
     def cpu_for_rank(self, local_index: int) -> Cpu:
         """The CPU owned by the ``local_index``-th rank on this node."""

@@ -75,6 +75,7 @@ class Machine:
         trace: Optional["Tracer"] = None,
         faults: Optional[FaultPlan] = None,
         telemetry: Optional[Telemetry] = None,
+        sanitizer: bool = False,
     ) -> None:
         if network not in NETWORKS:
             raise ConfigurationError(
@@ -90,7 +91,17 @@ class Machine:
         self.n_nodes = n_nodes
         self.ppn = ppn
         self.n_ranks = n_nodes * ppn
-        self.sim = Simulator(seed=seed, trace=trace, telemetry=telemetry)
+        #: Same-time race sanitizer, when requested (observation-only:
+        #: enabling it never changes scheduling or results).
+        self.sanitizer: Optional[Any] = None
+        if sanitizer:
+            from ..analysis import RaceSanitizer
+
+            self.sanitizer = RaceSanitizer()
+        self.sim = Simulator(
+            seed=seed, trace=trace, telemetry=telemetry,
+            sanitizer=self.sanitizer,
+        )
         self.node_spec = node_spec
         self.ib_params = ib_params
         self.elan_params = elan_params
@@ -160,6 +171,7 @@ class Machine:
         collect_stats: bool = False,
         max_events: Optional[int] = None,
         wall_limit_s: Optional[float] = None,
+        check_invariants: bool = False,
     ) -> RunResult:
         """Run ``program`` on every rank; returns timing and values.
 
@@ -169,6 +181,12 @@ class Machine:
         kernel watchdog (see :meth:`repro.sim.Simulator.run`) so a hung
         program raises :class:`~repro.errors.WatchdogError` naming the
         blocked ranks instead of spinning forever.
+
+        ``check_invariants=True`` runs the end-of-run conservation
+        checks after the program finishes, raising
+        :class:`~repro.errors.InvariantViolation` on residue (held
+        resource slots, unbalanced eager credits, parked records...).
+        Off by default and purely post-hoc: it never changes results.
         """
         if self._used:
             raise ConfigurationError(
@@ -191,6 +209,10 @@ class Machine:
         for rank in range(n):
             self.sim.spawn(runner(rank), name=f"rank{rank}")
         self.sim.run_all(max_events=max_events, wall_limit_s=wall_limit_s)
+        if self.sanitizer is not None:
+            self.sanitizer.finish()
+        if check_invariants:
+            self.verify_invariants()
 
         start = max(s for s, _ in spans)
         end = max(e for _, e in spans)
@@ -206,6 +228,25 @@ class Machine:
             impl_stats=stats,
             metrics=self.metrics() if self.sim.telemetry.enabled else {},
         )
+
+    # -- analysis ------------------------------------------------------------
+
+    def check_invariants(self) -> list:
+        """End-of-run conservation checks; returns the violation roster.
+
+        Empty list means the run quiesced cleanly: no held resource
+        slots, no undelivered records, credits balanced, registration
+        caches consistent, every lifecycle span finished.
+        """
+        from ..analysis import check_invariants
+
+        return check_invariants(self)
+
+    def verify_invariants(self) -> None:
+        """Raise :class:`~repro.errors.InvariantViolation` on residue."""
+        from ..analysis import verify_invariants
+
+        verify_invariants(self)
 
     # -- telemetry -----------------------------------------------------------
 

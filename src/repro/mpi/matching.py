@@ -119,6 +119,10 @@ class MatchQueue(Generic[T]):
         """Snapshot of entries (tests/diagnostics only)."""
         return list(self._entries)
 
+    def items(self) -> List[T]:
+        """The queued payloads in queue order (invariant checks)."""
+        return [entry.item for entry in self._entries]
+
 
 def validate_rank(rank: int, size: int, what: str = "rank") -> None:
     """Common rank-range check used across the MPI layer."""

@@ -223,9 +223,19 @@ class MvapichImpl(MpiImpl):
                 kind="eager", src_rank=ctx.rank, dst_rank=dest, size=size,
                 tag=tag, span=span,
             )
-            yield from hca.rdma_write(ctx.cpu, ctx.rank, self._peer_hca(dest), record)
+            wire_done = yield from hca.rdma_write(
+                ctx.cpu, ctx.rank, self._peer_hca(dest), record
+            )
             # Buffer reusable immediately after the copy: complete locally.
+            # The span stays open until the wire delivers (its wire:eager
+            # phase lands then), so it is finished from a callback.
             req.complete(source=ctx.rank, tag=tag, size=size)
+            if wire_done.triggered:
+                span.finish(self.sim.now)
+            else:
+                wire_done.add_callback(
+                    lambda _ev: span.finish(self.sim.now)
+                )
             return req
         # Rendezvous.
         state.rndv_sends += 1
@@ -611,6 +621,89 @@ class MvapichImpl(MpiImpl):
             _complete_on(self.sim, done, st.request, ctx.rank, st.request.tag, st.size),
             name=f"ib.sdone{ctx.rank}",
         )
+
+    # -- end-of-run invariants -----------------------------------------------------------
+
+    def check_invariants(self) -> list:
+        """Conservation checks on a quiesced run (plain dicts; see
+        :func:`repro.analysis.invariants.check_invariants`).
+
+        Eager-ring credits are the conserved quantity: every slot taken
+        must have been returned, so each sender's per-destination count
+        is back at ``ring_slots`` and no slots are outstanding.
+        """
+        problems = []
+        for rank in sorted(self._ranks):
+            ctx, _ = self._ranks[rank]
+            state: _MvState = ctx.impl_state
+            for dest in sorted(state.credits):
+                if state.credits[dest] != state.ring_slots:
+                    problems.append(
+                        {
+                            "name": "credits_balanced",
+                            "message": (
+                                f"rank {rank} holds {state.credits[dest]} "
+                                f"credit(s) toward rank {dest}, expected "
+                                f"{state.ring_slots}"
+                            ),
+                            "details": {
+                                "rank": rank,
+                                "dest": dest,
+                                "credits": state.credits[dest],
+                                "ring_slots": state.ring_slots,
+                            },
+                        }
+                    )
+            if state.credits_outstanding != 0:
+                problems.append(
+                    {
+                        "name": "credits_outstanding",
+                        "message": (
+                            f"rank {rank} still counts "
+                            f"{state.credits_outstanding} eager slot(s) "
+                            "outstanding at end of run"
+                        ),
+                        "details": {
+                            "rank": rank,
+                            "outstanding": state.credits_outstanding,
+                        },
+                    }
+                )
+            for label, pending in (
+                ("pending_sends", state.pending_sends),
+                ("pending_recvs", state.pending_recvs),
+            ):
+                if pending:
+                    problems.append(
+                        {
+                            "name": f"{label}_drained",
+                            "message": (
+                                f"rank {rank} has {len(pending)} "
+                                f"{label.replace('_', ' ')} unresolved "
+                                "at end of run"
+                            ),
+                            "details": {
+                                "rank": rank,
+                                "ids": sorted(pending),
+                            },
+                        }
+                    )
+            for label, queue in (
+                ("posted", state.posted),
+                ("unexpected", state.unexpected),
+            ):
+                if len(queue):
+                    problems.append(
+                        {
+                            "name": f"{label}_drained",
+                            "message": (
+                                f"rank {rank} still has {len(queue)} "
+                                f"{label} entr(ies) queued at end of run"
+                            ),
+                            "details": {"rank": rank, "depth": len(queue)},
+                        }
+                    )
+        return problems
 
     # -- reporting ----------------------------------------------------------------------
 

@@ -72,6 +72,9 @@ class QMpiImpl(MpiImpl):
         self._hw_barriers: Dict[tuple, _HwBarrier] = {}
         self._hw_seqs: Dict[tuple, Dict[int, int]] = {}
         self._hw_pending_roots: Dict[tuple, tuple] = {}
+        #: Monotone id per launched hardware broadcast (tiebreak keys
+        #: for its fan-out transfers).
+        self._hw_op_seq = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -254,6 +257,8 @@ class QMpiImpl(MpiImpl):
         # One pass out of the root host (PCI-X + uplink)...
         from ...sim import transfer
 
+        self._hw_op_seq += 1
+        op = self._hw_op_seq
         stages = [root_nic.node.pcix_stage()]
         stages.extend(
             root_nic.fabric.wire_stages(
@@ -262,7 +267,13 @@ class QMpiImpl(MpiImpl):
             )[:1]
         )
         if stages:
-            yield from transfer(self.sim, stages, nbytes, chunk=root_nic.chunk)
+            yield from transfer(
+                self.sim,
+                stages,
+                nbytes,
+                chunk=root_nic.chunk,
+                key=("hwbc", op, "root"),
+            )
         # ...then parallel delivery into every other member's host memory.
         deliveries: List[Event] = []
         per_dest = self.params.hw_bcast_per_dest
@@ -273,7 +284,7 @@ class QMpiImpl(MpiImpl):
             ev = Event(self.sim)
             deliveries.append(ev)
             self.sim.spawn(
-                self._hw_deliver(nic, nbytes, i * per_dest, ev),
+                self._hw_deliver(nic, nbytes, i * per_dest, ev, ("hwbc", op, i)),
                 name="elan.hwdlv",
             )
         if deliveries:
@@ -281,7 +292,7 @@ class QMpiImpl(MpiImpl):
         done.succeed(self.sim.now)
 
     def _hw_deliver(
-        self, nic: ElanNic, nbytes: int, stagger: float, ev: Event
+        self, nic: ElanNic, nbytes: int, stagger: float, ev: Event, key=None
     ) -> Generator[Event, Any, None]:
         from ...sim import transfer
 
@@ -295,8 +306,40 @@ class QMpiImpl(MpiImpl):
         if wire:
             stages.append(wire[-1])  # the member's downlink
         stages.append(nic.node.pcix_stage())
-        yield from transfer(self.sim, stages, nbytes, chunk=nic.chunk)
+        yield from transfer(self.sim, stages, nbytes, chunk=nic.chunk, key=key)
         ev.succeed(self.sim.now)
+
+    # -- end-of-run invariants ---------------------------------------------------
+
+    def check_invariants(self) -> list:
+        """Conservation checks on a quiesced run (plain dicts; see
+        :func:`repro.analysis.invariants.check_invariants`)."""
+        problems = []
+        if self._hw_barriers:
+            problems.append(
+                {
+                    "name": "hw_barriers_drained",
+                    "message": (
+                        f"{len(self._hw_barriers)} hardware collective(s) "
+                        "still awaiting arrivals at end of run"
+                    ),
+                    "details": {"keys": sorted(map(str, self._hw_barriers))},
+                }
+            )
+        if self._hw_pending_roots:
+            problems.append(
+                {
+                    "name": "hw_roots_drained",
+                    "message": (
+                        f"{len(self._hw_pending_roots)} broadcast root "
+                        "record(s) never consumed at end of run"
+                    ),
+                    "details": {
+                        "keys": sorted(map(str, self._hw_pending_roots))
+                    },
+                }
+            )
+        return problems
 
     # -- reporting ------------------------------------------------------------
 

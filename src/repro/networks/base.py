@@ -121,6 +121,7 @@ class Nic:
         size: int,
         span: Any = NULL_SPAN,
         phase: str = "wire",
+        key: Any = None,
     ) -> Generator[Event, Any, float]:
         """Move ``size`` payload bytes to the destination host memory.
 
@@ -133,6 +134,10 @@ class Nic:
         plus a per-component stage breakdown note (``wb:<phase>``) so
         blame analysis can split wire time into PCI-X / NIC / link /
         switch shares; the null span keeps this allocation-free.
+
+        ``key`` identifies the message for same-time tiebreak auditing
+        (typically the :class:`NetRecord` ``seq``); it is composed with
+        ``phase`` so a record's probe and payload pushes stay distinct.
         """
         if size < 0:
             raise NetworkError(f"negative payload size: {size}")
@@ -142,6 +147,8 @@ class Nic:
         start = self.sim.now
         if span.live:
             span.note("wb:" + phase, stage_breakdown(stages, size))
+        if key is not None:
+            key = (phase, key)
         faults = self.sim.faults
         if (
             faults is None
@@ -150,16 +157,24 @@ class Nic:
         ):
             # Pristine path — also taken for NIC loopback, which never
             # touches a wire.
-            end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+            end = yield from transfer(
+                self.sim, stages, size, chunk=self.chunk, key=key
+            )
         else:
             end = yield from self._push_with_link_faults(
-                dst_nic, stages, size, faults, span
+                dst_nic, stages, size, faults, span, key=key
             )
         span.phase(phase, start, end)
         return end
 
     def _push_with_link_faults(
-        self, dst_nic: "Nic", stages: List[Stage], size: int, faults, span=NULL_SPAN
+        self,
+        dst_nic: "Nic",
+        stages: List[Stage],
+        size: int,
+        faults,
+        span=NULL_SPAN,
+        key: Any = None,
     ) -> Generator[Event, Any, float]:
         """Deliver one message across a lossy fabric (subclass recovery).
 
@@ -168,7 +183,9 @@ class Nic:
         machinery (IB end-to-end retransmit, Elan link-level retry),
         annotating retries onto the lifecycle ``span``.
         """
-        end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+        end = yield from transfer(
+            self.sim, stages, size, chunk=self.chunk, key=key
+        )
         return end
 
     def _wire_links(self, dst_nic: "Nic") -> List[Stage]:
@@ -229,7 +246,10 @@ def stage_breakdown(stages: List[Stage], size: int) -> dict:
         totals[comp] = (
             totals.get(comp, 0.0) + stage.serialization(size) + stage.latency_out
         )
-    scale = sum(totals.values())
+    # Summed in sorted key order so float rounding is iteration-order-free.
+    scale = 0.0
+    for comp in sorted(totals):
+        scale += totals[comp]
     if scale <= 0.0:
         return {}
     return {comp: t / scale for comp, t in sorted(totals.items())}

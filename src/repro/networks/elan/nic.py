@@ -57,6 +57,9 @@ class RxHandle:
     matched_tag: int = -1
     #: Lifecycle span of the receive (null span when telemetry off).
     span: Any = NULL_SPAN
+    #: The posting rank's receive-post index (program order) — the
+    #: semantic tiebreak key for this post's NIC-thread operation.
+    post_seq: int = 0
 
 
 @dataclass
@@ -111,6 +114,8 @@ class ElanNic(Nic):
         #: Large-message pairings: pair_id -> RxHandle awaiting payload.
         self._paired: Dict[int, RxHandle] = {}
         self._pair_seq = 0
+        #: Per-rank receive-post counters (tiebreak keys; program order).
+        self._post_counts: Dict[int, int] = {}
         #: Unexpected payload bytes currently buffered in system memory.
         self.buffered_bytes = 0
         self.max_buffered_bytes = 0
@@ -134,10 +139,11 @@ class ElanNic(Nic):
             raise NetworkError(f"rank {rank} already attached to Elan NIC")
         self._posted[rank] = MatchQueue()
         self._unexpected[rank] = MatchQueue()
+        self._post_counts[rank] = 0
 
     # -- thread processor helper ----------------------------------------------------
 
-    def _thread_run(self, cost_fn) -> Generator[Event, Any, Any]:
+    def _thread_run(self, cost_fn, key: Any = None) -> Generator[Event, Any, Any]:
         """Serialize one operation on the NIC thread processor.
 
         ``cost_fn`` is evaluated *after* the thread is acquired so queue
@@ -146,8 +152,12 @@ class ElanNic(Nic):
         An injected offload-thread pause lands here — after the grant,
         before the work — so it delays every queued operation behind it,
         exactly how a stalled NIC processor hurts.
+
+        ``key`` names the operation for same-time tiebreak auditing —
+        the wire sequence of the record being serviced for arrivals,
+        the rank's posting index for receive posts.
         """
-        req = self.thread.request()
+        req = self.thread.request(key=key)
         yield req
         yield from self._maybe_stall()
         cost, effect = cost_fn()
@@ -178,7 +188,7 @@ class ElanNic(Nic):
     # -- link-level recovery ---------------------------------------------------
 
     def _push_with_link_faults(
-        self, dst_nic, stages, size, faults, span=NULL_SPAN
+        self, dst_nic, stages, size, faults, span=NULL_SPAN, key=None
     ) -> Generator[Event, Any, float]:
         """Link-level CRC detect + immediate hardware retry (Elan-4).
 
@@ -190,7 +200,9 @@ class ElanNic(Nic):
         the clean pipeline completes (retries serialize on the wire but
         are invisible to the protocol layer above).
         """
-        end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+        end = yield from transfer(
+            self.sim, stages, size, chunk=self.chunk, key=key
+        )
         plan = faults.plan
         extra = 0.0
         retries = 0
@@ -288,7 +300,11 @@ class ElanNic(Nic):
             tag=tag, span=span,
         )
         yield from self.push(
-            dst_nic, size + WIRE_HEADER_BYTES, span=span, phase="wire:tport"
+            dst_nic,
+            size + WIRE_HEADER_BYTES,
+            span=span,
+            phase="wire:tport",
+            key=record.seq,
         )
         handle.done.succeed(self.sim.now)
         span.finish(self.sim.now)
@@ -317,7 +333,9 @@ class ElanNic(Nic):
             span=span,
         )
         probe = _Probe(record=record, src_nic=self, go_event=go_event)
-        yield from self.push(dst_nic, PROBE_BYTES, span=span, phase="wire:probe")
+        yield from self.push(
+            dst_nic, PROBE_BYTES, span=span, phase="wire:probe", key=record.seq
+        )
         self.sim.spawn(dst_nic._probe_arrival(probe), name=f"elan.probe{dst_rank}")
         pair_id = yield go_event
         # Matching receive exists; move the payload NIC-to-NIC.
@@ -325,7 +343,11 @@ class ElanNic(Nic):
         if rx is not None:
             span.edge(self.sim.now, rx.span, "go")
         yield from self.push(
-            dst_nic, size + WIRE_HEADER_BYTES, span=span, phase="wire:payload"
+            dst_nic,
+            size + WIRE_HEADER_BYTES,
+            span=span,
+            phase="wire:payload",
+            key=record.seq,
         )
         handle.done.succeed(self.sim.now)
         span.finish(self.sim.now)
@@ -351,9 +373,10 @@ class ElanNic(Nic):
         into the user buffer — possibly before this host rank looks at it
         again (independent progress).
         """
+        self._post_counts[local_rank] += 1
         handle = RxHandle(
             source=source, tag=tag, max_size=max_size, done=Event(self.sim),
-            span=span,
+            span=span, post_seq=self._post_counts[local_rank],
         )
         self.sim.spawn(
             self._post_rx_proc(cpu, local_rank, handle),
@@ -396,7 +419,9 @@ class ElanNic(Nic):
                 return ("data", record)
             return cost, effect
 
-        result = yield from self._thread_run(cost_fn)
+        result = yield from self._thread_run(
+            cost_fn, key=("post", local_rank, handle.post_seq)
+        )
         if result is None:
             return
         kind, item = result
@@ -419,7 +444,11 @@ class ElanNic(Nic):
             self._paired[pair_id] = handle
             # Send "go" back to the source NIC: pure NIC-to-NIC traffic.
             yield from self.push(
-                probe.src_nic, GO_BYTES, span=handle.span, phase="wire:go"
+                probe.src_nic,
+                GO_BYTES,
+                span=handle.span,
+                phase="wire:go",
+                key=probe.record.seq,
             )
             probe.go_event.succeed(pair_id)
 
@@ -457,7 +486,7 @@ class ElanNic(Nic):
                 return None
             return cost, effect
 
-        handle = yield from self._thread_run(cost_fn)
+        handle = yield from self._thread_run(cost_fn, key=("arr", record.seq))
         self.sim.trace.log(
             self.sim.now,
             "elan.match",
@@ -487,7 +516,7 @@ class ElanNic(Nic):
                 return handle
             return cost, effect
 
-        handle = yield from self._thread_run(cost_fn)
+        handle = yield from self._thread_run(cost_fn, key=("probe", record.seq))
         if handle is not None:
             handle.span.relabel("tport-sync")
             handle.span.note("matched_on_arrival", 1)
@@ -498,7 +527,11 @@ class ElanNic(Nic):
             handle.matched_source = record.src_rank
             handle.matched_tag = record.tag
             yield from self.push(
-                probe.src_nic, GO_BYTES, span=handle.span, phase="wire:go"
+                probe.src_nic,
+                GO_BYTES,
+                span=handle.span,
+                phase="wire:go",
+                key=record.seq,
             )
             probe.go_event.succeed(pair_id)
 
@@ -513,7 +546,7 @@ class ElanNic(Nic):
         def cost_fn():
             return p.thread_dma_setup, lambda: None
 
-        yield from self._thread_run(cost_fn)
+        yield from self._thread_run(cost_fn, key=("pay", pair_id))
         handle.span.edge(span.last_end, span, "dma_setup")
         record = NetRecord(
             kind="tport",
@@ -549,6 +582,84 @@ class ElanNic(Nic):
             _delayed_succeed(self.sim, self.params.event_delivery, handle.done),
             name="elan.evt",
         )
+
+    # -- end-of-run invariants ---------------------------------------------------------
+
+    def check_invariants(self) -> list:
+        """Conservation checks on a quiesced NIC (plain dicts; see
+        :func:`repro.analysis.invariants.check_invariants`)."""
+        problems = []
+        if self._paired:
+            problems.append(
+                {
+                    "name": "pairings_resolved",
+                    "message": (
+                        f"{len(self._paired)} large-message pairing(s) "
+                        "still awaiting payload at end of run"
+                    ),
+                    "details": {"pair_ids": sorted(self._paired)},
+                }
+            )
+        for rank in sorted(self._posted):
+            posted = len(self._posted[rank])
+            unexpected = len(self._unexpected[rank])
+            if posted:
+                problems.append(
+                    {
+                        "name": "posted_drained",
+                        "message": (
+                            f"rank {rank} still has {posted} posted "
+                            "receive(s) unmatched at end of run"
+                        ),
+                        "details": {"rank": rank, "posted": posted},
+                    }
+                )
+            if unexpected:
+                problems.append(
+                    {
+                        "name": "unexpected_drained",
+                        "message": (
+                            f"rank {rank} still has {unexpected} unexpected "
+                            "arrival(s) unclaimed at end of run"
+                        ),
+                        "details": {"rank": rank, "unexpected": unexpected},
+                    }
+                )
+        # The Tports system-buffer account must match the parked records.
+        recomputed = 0
+        for rank in sorted(self._unexpected):
+            for item in self._unexpected[rank].items():
+                if isinstance(item, NetRecord):
+                    recomputed += item.size
+        if recomputed != self.buffered_bytes:
+            problems.append(
+                {
+                    "name": "buffered_bytes",
+                    "message": (
+                        f"system buffer accounts {self.buffered_bytes} B "
+                        f"but parked records sum to {recomputed} B"
+                    ),
+                    "details": {
+                        "accounted": self.buffered_bytes,
+                        "recomputed": recomputed,
+                    },
+                }
+            )
+        if not 0 <= self.buffered_bytes <= self.params.system_buffer_bytes:
+            problems.append(
+                {
+                    "name": "buffered_bounds",
+                    "message": (
+                        f"system buffer holds {self.buffered_bytes} B, "
+                        f"outside [0, {self.params.system_buffer_bytes}]"
+                    ),
+                    "details": {
+                        "buffered": self.buffered_bytes,
+                        "capacity": self.params.system_buffer_bytes,
+                    },
+                }
+            )
+        return problems
 
     # -- reporting ---------------------------------------------------------------------
 

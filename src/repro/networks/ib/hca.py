@@ -152,6 +152,7 @@ class Hca(Nic):
             record.size + WIRE_HEADER_BYTES,
             span=record.span,
             phase="wire:" + record.kind,
+            key=record.seq,
         )
         dst_hca._deliver(record)
         done.succeed(end)
@@ -191,7 +192,11 @@ class Hca(Nic):
     ) -> Generator[Event, Any, None]:
         # Read request to the source NIC (header-only packet)...
         yield from self.push(
-            src_hca, WIRE_HEADER_BYTES, span=record.span, phase="wire:rreq"
+            src_hca,
+            WIRE_HEADER_BYTES,
+            span=record.span,
+            phase="wire:rreq",
+            key=record.seq,
         )
         yield self.sim.timeout(self.params.rdma_read_request)
         # ...then the source NIC streams the payload back.
@@ -200,6 +205,7 @@ class Hca(Nic):
             record.size + WIRE_HEADER_BYTES,
             span=record.span,
             phase="wire:" + record.kind,
+            key=record.seq,
         )
         self._deliver(record)
         done.succeed(end)
@@ -207,7 +213,7 @@ class Hca(Nic):
     # -- reliable-connection recovery ---------------------------------------------
 
     def _push_with_link_faults(
-        self, dst_nic, stages, size, faults, span=NULL_SPAN
+        self, dst_nic, stages, size, faults, span=NULL_SPAN, key=None
     ) -> "Generator[Event, Any, float]":
         """End-to-end retransmit, the 4X InfiniBand recovery model.
 
@@ -225,7 +231,13 @@ class Hca(Nic):
         schedule = ib_retry_schedule(plan)
         attempts = 0
         while True:
-            end = yield from transfer(self.sim, stages, size, chunk=self.chunk)
+            end = yield from transfer(
+                self.sim,
+                stages,
+                size,
+                chunk=self.chunk,
+                key=None if key is None else (key, attempts),
+            )
             attempts += 1
             errors = sum(
                 faults.packet_errors(st.name, size, self.chunk) for st in links
@@ -265,6 +277,64 @@ class Hca(Nic):
                 f"{self.node.node_id}"
             )
         inbox.put(record)
+
+    # -- end-of-run invariants --------------------------------------------------------
+
+    def check_invariants(self) -> list:
+        """Conservation checks on a quiesced HCA (plain dicts; see
+        :func:`repro.analysis.invariants.check_invariants`)."""
+        problems = []
+        for rank in sorted(self._inboxes):
+            inbox = self._inboxes[rank]
+            if len(inbox) != 0:
+                problems.append(
+                    {
+                        "name": "inbox_drained",
+                        "message": (
+                            f"rank {rank} inbox holds {len(inbox)} "
+                            "undelivered record(s) at end of run"
+                        ),
+                        "details": {"rank": rank, "depth": len(inbox)},
+                    }
+                )
+        for rank in sorted(self._reg_caches):
+            cache = self._reg_caches[rank]
+            recomputed = 0
+            for nbytes in cache._regions.values():
+                recomputed += nbytes
+            if recomputed != cache.cached_bytes:
+                problems.append(
+                    {
+                        "name": "reg_cache_bytes",
+                        "message": (
+                            f"rank {rank} pin-down cache accounts "
+                            f"{cache.cached_bytes} B but regions sum to "
+                            f"{recomputed} B"
+                        ),
+                        "details": {
+                            "rank": rank,
+                            "accounted": cache.cached_bytes,
+                            "recomputed": recomputed,
+                        },
+                    }
+                )
+            if not 0 <= cache.cached_bytes <= self.params.reg_cache_bytes:
+                problems.append(
+                    {
+                        "name": "reg_cache_bounds",
+                        "message": (
+                            f"rank {rank} pin-down cache holds "
+                            f"{cache.cached_bytes} B, outside "
+                            f"[0, {self.params.reg_cache_bytes}]"
+                        ),
+                        "details": {
+                            "rank": rank,
+                            "cached": cache.cached_bytes,
+                            "capacity": self.params.reg_cache_bytes,
+                        },
+                    }
+                )
+        return problems
 
     # -- reporting -------------------------------------------------------------------
 

@@ -52,6 +52,7 @@ class Simulator:
         seed: int = 0,
         trace: Optional[Tracer] = None,
         telemetry: Optional[Telemetry] = None,
+        sanitizer: Optional[Any] = None,
     ) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
@@ -85,6 +86,12 @@ class Simulator:
         #: here when a fault plan is enabled; ``None`` means every model
         #: takes its pristine, draw-free fast path.
         self.faults: Optional["FaultInjector"] = None
+        #: Opt-in same-time race sanitizer
+        #: (:class:`~repro.analysis.sanitizer.RaceSanitizer`).  ``None``
+        #: — the default — costs one identity check per event; the
+        #: sanitizer only *observes* pops, so enabling it never changes
+        #: simulated results.
+        self.sanitizer: Optional[Any] = sanitizer
 
     # -- clock ------------------------------------------------------------
 
@@ -190,8 +197,10 @@ class Simulator:
             raise SimulationError(f"wall_limit_s must be > 0: {wall_limit_s}")
         self._running = True
         budget = max_events
-        wall_deadline = (
-            time.perf_counter() + wall_limit_s if wall_limit_s is not None else None
+        wall_deadline = (  # watchdog measures real time, not sim time
+            time.perf_counter() + wall_limit_s  # repro-lint: disable=RPR001
+            if wall_limit_s is not None
+            else None
         )
         try:
             while self._heap:
@@ -213,7 +222,7 @@ class Simulator:
                 if (
                     wall_deadline is not None
                     and self.events_processed % _WALL_CHECK_INTERVAL == 0
-                    and time.perf_counter() > wall_deadline
+                    and time.perf_counter() > wall_deadline  # repro-lint: disable=RPR001
                 ):
                     raise WatchdogError(
                         f"wall-clock limit of {wall_limit_s}s exceeded",
@@ -228,6 +237,8 @@ class Simulator:
                     break
                 self._now = t
                 self.events_processed += 1
+                if self.sanitizer is not None:
+                    self.sanitizer.observe(t, _seq, event)
                 event._fire()
             else:
                 if self._crashed:

@@ -30,7 +30,7 @@ class Event:
     almost always indicates a protocol bug in a network model.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exception", "_scheduled")
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_scheduled", "key")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -39,6 +39,10 @@ class Event:
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._scheduled = False
+        #: Semantic tiebreak key (see :meth:`tiebreak_key`).  ``None``
+        #: means the event claims no ordering significance among
+        #: same-time peers.
+        self.key: Any = None
 
     # -- state ----------------------------------------------------------
 
@@ -108,6 +112,33 @@ class Event:
         reporters use it to say what a stuck process was blocked on.
         """
         return type(self).__name__
+
+    def tiebreak_key(self) -> Any:
+        """Deterministic ordering key among same-time events.
+
+        The kernel already orders same-time events by a monotone
+        sequence number, so every run with the same seed is
+        bit-identical.  But when two same-time events touch the *same*
+        resource, schedule order is semantically arbitrary — an
+        unrelated change upstream can swap them and silently shift
+        results.  Models therefore attach a semantic key (e.g. the
+        network record's global sequence number, or a ``(queue, rank)``
+        tuple) to events whose relative order carries meaning; the
+        opt-in :class:`~repro.analysis.sanitizer.RaceSanitizer` flags
+        same-time pairs on one resource whose keys are missing or
+        equal.  ``None`` (the default) means "no ordering claim".
+        """
+        return self.key
+
+    def race_scope(self) -> Any:
+        """The contended object this event touches, for the sanitizer.
+
+        Plain events, timeouts and composites return ``None`` (their
+        relative order is fixed by schedule order and nothing else
+        observes it); resource grants and store deliveries return the
+        resource/store so the sanitizer can group same-time peers.
+        """
+        return None
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Attach ``cb``; runs immediately via the queue if already fired."""

@@ -88,6 +88,7 @@ def transfer(
     stages: Sequence[Stage],
     size: int,
     chunk: int = DEFAULT_CHUNK,
+    key: Any = None,
 ) -> Generator[Event, Any, float]:
     """Run one message of ``size`` bytes through ``stages``.
 
@@ -95,6 +96,12 @@ def transfer(
     Returns the completion time (when the last stage finishes).  Zero-byte
     messages still pay each stage's overhead and latency — control messages
     are never free.
+
+    ``key`` identifies the *message* for same-time tiebreak auditing
+    (see :meth:`~repro.sim.events.Event.tiebreak_key`): each stage's
+    resource grant carries ``(key, stage-index)``, so two transfers
+    contending for one bus at the same instant are distinguishable by
+    their message identity, not just schedule order.
     """
     if size < 0:
         raise SimulationError(f"negative transfer size: {size}")
@@ -117,7 +124,9 @@ def transfer(
         prev_finish = gate_val  # None for stage 0
         req = None
         if st.resource is not None:
-            req = st.resource.request()
+            req = st.resource.request(
+                key=None if key is None else (key, i)
+            )
             yield req
         a_i = sim.now
         t_ser = st.serialization(size)

@@ -29,13 +29,20 @@ class ResourceRequest(Event):
 
     __slots__ = ("resource",)
 
-    def __init__(self, sim: "Simulator", resource: "FifoResource") -> None:
+    def __init__(
+        self, sim: "Simulator", resource: "FifoResource", key: Any = None
+    ) -> None:
         super().__init__(sim)
         self.resource = resource
+        self.key = key
 
     def describe(self) -> str:
         name = self.resource.name or "anonymous"
-        return f"resource {name}"
+        label = f"resource {name}"
+        return label if self.key is None else f"{label} [key={self.key!r}]"
+
+    def race_scope(self) -> Any:
+        return self.resource
 
 
 class StoreGet(Event):
@@ -43,13 +50,20 @@ class StoreGet(Event):
 
     __slots__ = ("store",)
 
-    def __init__(self, sim: "Simulator", store: "Store") -> None:
+    def __init__(
+        self, sim: "Simulator", store: "Store", key: Any = None
+    ) -> None:
         super().__init__(sim)
         self.store = store
+        self.key = key
 
     def describe(self) -> str:
         name = self.store.name or "anonymous"
-        return f"store {name}"
+        label = f"store {name}"
+        return label if self.key is None else f"{label} [key={self.key!r}]"
+
+    def race_scope(self) -> Any:
+        return self.store
 
 
 class FifoResource:
@@ -94,13 +108,18 @@ class FifoResource:
 
     # -- acquisition -------------------------------------------------------
 
-    def request(self) -> Event:
+    def request(self, key: Any = None) -> Event:
         """An event granted when a slot is free (FIFO order).
 
         The event's value is the request time, so callers can compute their
         own queueing delay; :attr:`total_wait_time` accumulates it globally.
+
+        ``key`` is the semantic tiebreak key for the grant event (see
+        :meth:`~repro.sim.events.Event.tiebreak_key`): pass one when
+        same-time requests on this resource have a meaningful order
+        (e.g. the wire sequence number of the message being serviced).
         """
-        ev = ResourceRequest(self.sim, self)
+        ev = ResourceRequest(self.sim, self, key=key)
         if self._in_use < self.capacity and not self._waiters:
             self._grant(ev, self.sim.now)
         else:
@@ -159,9 +178,11 @@ class FifoResource:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
 
-    def using(self, duration: float) -> Generator[Event, Any, None]:
+    def using(
+        self, duration: float, key: Any = None
+    ) -> Generator[Event, Any, None]:
         """Generator helper: acquire, hold ``duration`` us, release."""
-        req = self.request()
+        req = self.request(key=key)
         yield req
         try:
             yield self.sim.timeout(duration)
@@ -210,6 +231,10 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self.total_puts = 0
+        #: Monotone delivery counter: each completed ``get`` is stamped
+        #: with its delivery index as tiebreak key, pinning the semantic
+        #: order of same-time deliveries (FIFO) for the race sanitizer.
+        self._delivery_seq = 0
         #: Most items ever queued at once (delivery-backlog high-water mark).
         self.depth_hwm = 0
         #: Queue-depth channel for the series sampler (null when off).
@@ -224,22 +249,41 @@ class Store:
         """Append ``item``; wakes the oldest waiting getter, if any."""
         self.total_puts += 1
         if self._getters:
-            self._getters.popleft().succeed(item)
+            ev = self._getters.popleft()
+            self._stamp(ev)
+            ev.succeed(item)
         else:
             self._items.append(item)
             if len(self._items) > self.depth_hwm:
                 self.depth_hwm = len(self._items)
             self._series.record(self.sim.now, len(self._items))
 
-    def get(self) -> Event:
-        """Event delivering the oldest item (immediately if available)."""
-        ev = StoreGet(self.sim, self)
+    def get(self, key: Any = None) -> Event:
+        """Event delivering the oldest item (immediately if available).
+
+        ``key`` tags the delivery event with a semantic tiebreak key
+        (see :meth:`~repro.sim.events.Event.tiebreak_key`) — typically
+        ``(queue-name, consumer-rank)`` for service loops, so the
+        sanitizer can tell deliberately-ordered same-time deliveries
+        from accidental ones.
+        """
+        ev = StoreGet(self.sim, self, key=key)
         if self._items:
+            self._stamp(ev)
             ev.succeed(self._items.popleft())
             self._series.record(self.sim.now, len(self._items))
         else:
             self._getters.append(ev)
         return ev
+
+    def _stamp(self, ev: Event) -> None:
+        """Stamp a delivery with its FIFO index (the tiebreak key)."""
+        self._delivery_seq += 1
+        ev.key = (
+            self._delivery_seq
+            if ev.key is None
+            else (ev.key, self._delivery_seq)
+        )
 
     def cancel_get(self, ev: Event) -> None:
         """Withdraw a pending :meth:`get` (no-op if already delivered)."""

@@ -171,7 +171,10 @@ def blame(
         else:
             name = component_of(seg.phase)
             comp[name] = comp.get(name, 0.0) + dur
-    total = sum(comp.values())
+    # Summed in sorted key order so float rounding is iteration-order-free.
+    total = 0.0
+    for name in sorted(comp):
+        total += comp[name]
     scale = total if total > 0 else 1.0
     return {
         "total_us": total,

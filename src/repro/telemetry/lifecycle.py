@@ -159,6 +159,16 @@ class MessageSpan:
         """Completion time: explicit finish, else the last phase end."""
         return self._end if self._end is not None else self._last_end
 
+    @property
+    def finished(self) -> bool:
+        """Whether the model explicitly closed this span.
+
+        The end-of-run invariant checker requires every span finished:
+        an unfinished span is a message whose completion the model
+        never observed.
+        """
+        return self._end is not None
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready form, key order fixed for byte-identical dumps."""
         return {
@@ -204,6 +214,7 @@ class _NullSpan:
     notes: Dict[str, Any] = {}
     last_end = 0.0
     end = 0.0
+    finished = True
 
     def phase(self, name: str, t0: float, t1: float) -> None:
         pass
@@ -287,7 +298,10 @@ class LifecycleRecorder:
     @property
     def dropped(self) -> int:
         """Total spans dropped at the cap, across categories."""
-        return sum(self.dropped_by_category.values())
+        total = 0
+        for count in self.dropped_by_category.values():
+            total += count
+        return total
 
     def summary(self) -> Dict[str, Any]:
         """Cap accounting: stored spans, drops total and per category."""

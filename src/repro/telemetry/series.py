@@ -115,7 +115,10 @@ class SeriesBank:
     @property
     def dropped(self) -> int:
         """Total points dropped at the cap, across channels."""
-        return sum(self.dropped_by_channel.values())
+        total = 0
+        for count in self.dropped_by_channel.values():
+            total += count
+        return total
 
     def sampled(
         self,

@@ -49,7 +49,10 @@ class EventStream:
     @property
     def dropped(self) -> int:
         """Total records dropped across all categories."""
-        return sum(self.dropped_by_category.values())
+        total = 0
+        for count in self.dropped_by_category.values():
+            total += count
+        return total
 
     def counts(self) -> Dict[str, int]:
         """Stored-record counts per category, sorted by category."""
@@ -89,7 +92,10 @@ class Timeline:
     @property
     def dropped(self) -> int:
         """Total records dropped at the cap, across categories."""
-        return sum(self.dropped_by_category.values())
+        total = 0
+        for count in self.dropped_by_category.values():
+            total += count
+        return total
 
     def tid(self, track: str) -> int:
         """The stable integer id of ``track``, assigned on first use."""

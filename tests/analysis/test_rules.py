@@ -1,0 +1,533 @@
+"""Per-rule fixtures for the determinism linter.
+
+Each rule gets three probes: a positive snippet that must fire, the same
+snippet with a ``# repro-lint: disable=RPRnnn`` suppression that must
+stay silent, and a clean variant that must not fire at all.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.linter import lint_source
+
+
+pytestmark = pytest.mark.analysis
+
+
+def findings_for(snippet):
+    return lint_source(textwrap.dedent(snippet), "probe.py")
+
+
+def rules_of(snippet):
+    return [f.rule for f in findings_for(snippet)]
+
+
+def assert_rule(snippet, rule):
+    rules = rules_of(snippet)
+    assert rule in rules, f"expected {rule}, got {rules}"
+
+
+def assert_clean(snippet):
+    rules = rules_of(snippet)
+    assert rules == [], f"expected clean, got {rules}"
+
+
+# -- RPR001: wall clock / unseeded RNG --------------------------------------
+
+
+class TestRPR001:
+    def test_time_time_fires(self):
+        assert_rule(
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+            "RPR001",
+        )
+
+    def test_random_module_fires(self):
+        assert_rule(
+            """
+            import random
+
+            def f():
+                return random.random()
+            """,
+            "RPR001",
+        )
+
+    def test_numpy_default_rng_fires(self):
+        assert_rule(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """,
+            "RPR001",
+        )
+
+    def test_datetime_now_fires(self):
+        assert_rule(
+            """
+            import datetime
+
+            def f():
+                return datetime.datetime.now()
+            """,
+            "RPR001",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            import time
+
+            def f():
+                return time.time()  # repro-lint: disable=RPR001
+            """
+        )
+
+    def test_clean_sim_now(self):
+        assert_clean(
+            """
+            def f(sim):
+                return sim.now
+            """
+        )
+
+    def test_aliased_import_fires(self):
+        assert_rule(
+            """
+            import random as rnd
+
+            def f():
+                return rnd.randint(0, 3)
+            """,
+            "RPR001",
+        )
+
+
+# -- RPR002: set iteration ---------------------------------------------------
+
+
+class TestRPR002:
+    def test_for_over_set_literal_fires(self):
+        assert_rule(
+            """
+            def f():
+                for x in {1, 2, 3}:
+                    print(x)
+            """,
+            "RPR002",
+        )
+
+    def test_for_over_set_call_fires(self):
+        assert_rule(
+            """
+            def f(items):
+                for x in set(items):
+                    print(x)
+            """,
+            "RPR002",
+        )
+
+    def test_for_over_inferred_set_local_fires(self):
+        assert_rule(
+            """
+            def f(items):
+                pending = set(items)
+                for x in pending:
+                    print(x)
+            """,
+            "RPR002",
+        )
+
+    def test_list_of_set_fires(self):
+        assert_rule(
+            """
+            def f(items):
+                return list({x for x in items})
+            """,
+            "RPR002",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def f():
+                for x in {1, 2, 3}:  # repro-lint: disable=RPR002
+                    print(x)
+            """
+        )
+
+    def test_sorted_wrapper_is_clean(self):
+        assert_clean(
+            """
+            def f(items):
+                for x in sorted(set(items)):
+                    print(x)
+            """
+        )
+
+    def test_len_of_set_is_clean(self):
+        assert_clean(
+            """
+            def f(items):
+                return len(set(items))
+            """
+        )
+
+
+# -- RPR003: sum() over dict views -------------------------------------------
+
+
+class TestRPR003:
+    def test_sum_over_values_fires(self):
+        assert_rule(
+            """
+            def f(d):
+                return sum(d.values())
+            """,
+            "RPR003",
+        )
+
+    def test_sum_over_genexp_of_view_fires(self):
+        assert_rule(
+            """
+            def f(d):
+                return sum(v * 2 for v in d.values())
+            """,
+            "RPR003",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def f(d):
+                return sum(d.values())  # repro-lint: disable=RPR003
+            """
+        )
+
+    def test_explicit_loop_is_clean(self):
+        assert_clean(
+            """
+            def f(d):
+                total = 0.0
+                for k in sorted(d):
+                    total += d[k]
+                return total
+            """
+        )
+
+    def test_sum_over_list_is_clean(self):
+        assert_clean(
+            """
+            def f(items):
+                return sum(items)
+            """
+        )
+
+
+# -- RPR004: mutable default arguments ----------------------------------------
+
+
+class TestRPR004:
+    def test_list_default_fires(self):
+        assert_rule(
+            """
+            def f(acc=[]):
+                return acc
+            """,
+            "RPR004",
+        )
+
+    def test_dict_default_fires(self):
+        assert_rule(
+            """
+            def f(cache={}):
+                return cache
+            """,
+            "RPR004",
+        )
+
+    def test_factory_call_default_fires(self):
+        assert_rule(
+            """
+            def f(acc=list()):
+                return acc
+            """,
+            "RPR004",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def f(acc=[]):  # repro-lint: disable=RPR004
+                return acc
+            """
+        )
+
+    def test_none_default_is_clean(self):
+        assert_clean(
+            """
+            def f(acc=None):
+                if acc is None:
+                    acc = []
+                return acc
+            """
+        )
+
+
+# -- RPR005: sim processes yielding non-Event literals -------------------------
+
+
+class TestRPR005:
+    def test_yield_literal_in_sim_process_fires(self):
+        assert_rule(
+            """
+            def proc(sim):
+                yield sim.timeout(1.0)
+                yield 42
+            """,
+            "RPR005",
+        )
+
+    def test_bare_yield_in_sim_process_fires(self):
+        assert_rule(
+            """
+            def proc(sim):
+                yield sim.timeout(1.0)
+                yield
+            """,
+            "RPR005",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def proc(sim):
+                yield sim.timeout(1.0)
+                yield 42  # repro-lint: disable=RPR005
+            """
+        )
+
+    def test_plain_generator_is_clean(self):
+        assert_clean(
+            """
+            def numbers():
+                yield 1
+                yield 2
+            """
+        )
+
+    def test_yielding_events_is_clean(self):
+        assert_clean(
+            """
+            def proc(sim, resource):
+                req = resource.request()
+                yield req
+                yield sim.timeout(1.0)
+            """
+        )
+
+
+# -- RPR006: lambdas in campaign/fault spec fields -----------------------------
+
+
+class TestRPR006:
+    def test_lambda_in_runspec_fires(self):
+        assert_rule(
+            """
+            def f(RunSpec):
+                return RunSpec(program=lambda mpi: None)
+            """,
+            "RPR006",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def f(RunSpec):
+                return RunSpec(program=lambda m: None)  # repro-lint: disable=RPR006
+            """
+        )
+
+    def test_named_function_is_clean(self):
+        assert_clean(
+            """
+            def prog(mpi):
+                return None
+
+            def f(RunSpec):
+                return RunSpec(program=prog)
+            """
+        )
+
+    def test_lambda_elsewhere_is_clean(self):
+        assert_clean(
+            """
+            def f(items):
+                return sorted(items, key=lambda x: x[0])
+            """
+        )
+
+
+# -- RPR007: telemetry instrument fetch on hot paths ---------------------------
+
+
+class TestRPR007:
+    def test_counter_fetch_in_loop_fires(self):
+        assert_rule(
+            """
+            def f(sim, items):
+                for item in items:
+                    sim.metrics.counter("hits").inc()
+            """,
+            "RPR007",
+        )
+
+    def test_channel_fetch_in_sim_process_fires(self):
+        assert_rule(
+            """
+            def proc(sim):
+                yield sim.timeout(1.0)
+                sim.telemetry.series.channel("depth").record(sim.now, 1)
+            """,
+            "RPR007",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def f(sim, items):
+                for item in items:
+                    sim.metrics.counter("hits").inc()  # repro-lint: disable=RPR007
+            """
+        )
+
+    def test_fetch_once_in_init_is_clean(self):
+        assert_clean(
+            """
+            class Model:
+                def __init__(self, sim):
+                    self._c_hits = sim.metrics.counter("hits")
+
+                def f(self, items):
+                    for item in items:
+                        self._c_hits.inc()
+            """
+        )
+
+
+# -- RPR008: bare except / swallowed SimulationError ---------------------------
+
+
+class TestRPR008:
+    def test_bare_except_fires(self):
+        assert_rule(
+            """
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+            """,
+            "RPR008",
+        )
+
+    def test_swallowed_exception_fires(self):
+        assert_rule(
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            "RPR008",
+        )
+
+    def test_swallowed_simulation_error_fires(self):
+        assert_rule(
+            """
+            def f(SimulationError):
+                try:
+                    work()
+                except SimulationError:
+                    pass
+            """,
+            "RPR008",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def f():
+                try:
+                    work()
+                except Exception:  # repro-lint: disable=RPR008
+                    pass
+            """
+        )
+
+    def test_handled_exception_is_clean(self):
+        assert_clean(
+            """
+            def f(log):
+                try:
+                    work()
+                except ValueError as exc:
+                    log.warning("bad value: %s", exc)
+            """
+        )
+
+    def test_narrow_pass_is_clean(self):
+        assert_clean(
+            """
+            def f():
+                try:
+                    work()
+                except KeyError:
+                    pass
+            """
+        )
+
+
+# -- cross-cutting -------------------------------------------------------------
+
+
+def test_disable_all_suppresses_everything():
+    assert_clean(
+        """
+        import time
+
+        def f():
+            return time.time()  # repro-lint: disable=all
+        """
+    )
+
+
+def test_findings_carry_line_and_column():
+    findings = findings_for(
+        """
+        import time
+
+        def f():
+            return time.time()
+        """
+    )
+    (finding,) = findings
+    assert finding.rule == "RPR001"
+    assert finding.line == 5
+    assert finding.path == "probe.py"
+    assert "time.time()" in finding.text
+
+
+def test_syntax_error_reports_rpr000():
+    findings = lint_source("def broken(:\n", "bad.py")
+    (finding,) = findings
+    assert finding.rule == "RPR000"
