@@ -1,0 +1,104 @@
+"""Simulator throughput (events/sec) across fabric topologies.
+
+Not a paper figure — a performance acceptance pass for the topology
+subsystem.  Bounces a message between the two most distant ranks of a
+64-rank crossbar and a 256-rank three-level fat tree and reports kernel
+throughput, so a per-hop routing regression (extra allocations, slow
+route construction) shows up as an events/sec drop rather than hiding
+inside wall-clock noise.  Results land in ``BENCH_topology.json`` at the
+repo root; CI uploads the file as an artifact for trend tracking.
+"""
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Generator, Optional
+
+from repro import Machine
+from repro.mpi import MpiRank
+from repro.topology import TopologySpec
+
+SIZE = 8192
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
+
+#: The benchmarked fabrics: (label, node count, topology spec).
+CASES = [
+    ("crossbar-64", 64, TopologySpec()),
+    ("fattree-256", 256, TopologySpec(kind="fattree", radix=16)),
+]
+
+
+def far_pingpong(size: int, repetitions: int):
+    """Ping-pong between rank 0 and the last rank (the longest route)."""
+
+    def program(mpi: MpiRank) -> Generator[Any, Any, Optional[float]]:
+        last = mpi.size - 1
+        if mpi.rank not in (0, last):
+            return None
+        peer = last if mpi.rank == 0 else 0
+        sbuf, rbuf = ("fp-send", mpi.rank), ("fp-recv", mpi.rank)
+        t0 = mpi.now
+        for _ in range(repetitions):
+            if mpi.rank == 0:
+                yield from mpi.send(dest=peer, size=size, buf=sbuf)
+                yield from mpi.recv(source=peer, size=size, buf=rbuf)
+            else:
+                yield from mpi.recv(source=peer, size=size, buf=rbuf)
+                yield from mpi.send(dest=peer, size=size, buf=sbuf)
+        if mpi.rank == 0:
+            return (mpi.now - t0) / (2.0 * repetitions)
+        return None
+
+    return program
+
+
+def _measure(label: str, nodes: int, topo: TopologySpec, reps: int) -> dict:
+    machine = Machine("elan", nodes, seed=0, topology=topo)
+    wall0 = time.perf_counter()  # repro-lint: disable=RPR001
+    result = machine.run(far_pingpong(SIZE, reps), check_invariants=True)
+    wall = time.perf_counter() - wall0  # repro-lint: disable=RPR001
+    events = machine.sim.events_processed
+    return {
+        "case": label,
+        "topology": topo.describe(),
+        "nodes": nodes,
+        "repetitions": reps,
+        "latency_us": result.values[0],
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall) if wall > 0 else 0,
+    }
+
+
+def test_topology_events_per_sec(benchmark, quick):
+    reps = 50 if quick else 400
+
+    def sweep():
+        return [
+            _measure(label, nodes, topo, reps)
+            for label, nodes, topo in CASES
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(f"{'case':>12} {'latency':>12} {'events':>10} {'events/sec':>12}")
+    for row in rows:
+        print(
+            f"{row['case']:>12} {row['latency_us']:>9.2f} us "
+            f"{row['events']:>10} {row['events_per_sec']:>12}"
+        )
+
+    by_case = {row["case"]: row for row in rows}
+    # The deeper tree pays real per-hop latency: the distant-pair route
+    # crosses four ISLs, so it must be measurably slower than one chassis.
+    assert (
+        by_case["fattree-256"]["latency_us"]
+        > by_case["crossbar-64"]["latency_us"]
+    )
+    # Throughput floor: catch an order-of-magnitude kernel regression
+    # without flaking on machine noise.
+    assert all(row["events_per_sec"] > 1_000 for row in rows)
+
+    RESULT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")

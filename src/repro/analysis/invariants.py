@@ -149,6 +149,9 @@ def check_invariants(machine: Any) -> List[Violation]:
     if impl_checker is not None:
         label = "mvapich" if machine.network == "ib" else "qmpi"
         violations.extend(_wrap(label, impl_checker()))
+    fabric_checker = getattr(machine.fabric, "check_invariants", None)
+    if fabric_checker is not None:
+        violations.extend(_wrap("topology", fabric_checker()))
     violations.extend(check_lifecycle(machine.sim))
     return violations
 

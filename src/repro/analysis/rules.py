@@ -17,6 +17,9 @@ RPR006      unpicklable construct (lambda) in a campaign/fault spec
 RPR007      telemetry instrument fetched on a hot path (loop or sim
             process) instead of at construction time
 RPR008      bare ``except`` or swallowed ``SimulationError``
+RPR009      unordered iteration over a topology ``links``/``adjacency``
+            mapping (lazy link creation makes insertion order depend on
+            traffic history; iterate ``sorted(...)``)
 ==========  ==========================================================
 
 Rules are deliberately narrow: each pattern flagged is one a reviewer
@@ -65,6 +68,11 @@ RULES: Dict[str, str] = {
     "RPR008": (
         "bare except or swallowed exception hides kernel/protocol "
         "failures (deadlocks and crashed processes must surface)"
+    ),
+    "RPR009": (
+        "iteration over a topology links/adjacency mapping follows "
+        "insertion order, which lazy link creation ties to traffic "
+        "history (iterate sorted(...) instead)"
     ),
 }
 
@@ -126,6 +134,10 @@ _SIM_PROCESS_MARKERS = {"timeout", "request", "all_of", "any_of", "event"}
 _INSTRUMENT_METHODS = {"counter", "gauge", "histogram", "channel"}
 _INSTRUMENT_OWNERS = {"metrics", "series", "telemetry"}
 
+#: Topology mapping attributes guarded by RPR009: their insertion order
+#: reflects route-creation (traffic) history, not a stable identity.
+_TOPO_MAPPING_ATTRS = {"links", "adjacency"}
+
 #: Exception names whose silent swallowing is flagged by RPR008.
 _SWALLOW_GUARDED = {
     "Exception", "BaseException", "SimulationError", "ReproError",
@@ -174,6 +186,18 @@ def _is_dict_view(node: ast.AST) -> bool:
         and not node.args
         and not node.keywords
     )
+
+
+def _is_topo_mapping(node: ast.AST) -> bool:
+    """Whether ``node`` reads a topology ``links``/``adjacency`` mapping.
+
+    Matches the bare attribute (``fabric.links``) and its dict views
+    (``fabric.links.items()``); a ``sorted(...)`` wrapper is a different
+    node and therefore never reaches this check.
+    """
+    if _is_dict_view(node):
+        node = node.func.value  # type: ignore[union-attr]
+    return isinstance(node, ast.Attribute) and node.attr in _TOPO_MAPPING_ATTRS
 
 
 class _FunctionInfo:
@@ -375,6 +399,14 @@ class RuleVisitor(ast.NodeVisitor):
                 "iteration over a set follows hash order; wrap the set "
                 "in sorted() to fix the traversal",
             )
+        elif _is_topo_mapping(iter_node):
+            self._emit(
+                iter_node,
+                "RPR009",
+                "iteration over a topology links/adjacency mapping "
+                "follows lazy-creation (traffic) order; iterate "
+                "sorted(...) so reports and checks are order-free",
+            )
 
     # -- calls: RPR001 / RPR002 / RPR003 / RPR006 / RPR007 -------------------
 
@@ -463,6 +495,14 @@ class RuleVisitor(ast.NodeVisitor):
                 "RPR002",
                 f"{name}() over a set materializes hash order; apply "
                 "sorted() first",
+            )
+            return
+        if name in ("list", "tuple") and _is_topo_mapping(arg):
+            self._emit(
+                node,
+                "RPR009",
+                f"{name}() over a topology links/adjacency mapping "
+                "materializes lazy-creation order; apply sorted() first",
             )
             return
         if name in ("sum", "fsum"):

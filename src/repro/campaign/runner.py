@@ -76,6 +76,7 @@ def execute_run(
             ppn=spec.ppn,
             seed=spec.seed,
             fabric_radix=spec.fabric_radix,
+            topology=spec.topology_spec,
             ib_progress_thread=spec.ib_progress_thread,
             trace=tracer,
             faults=spec.fault_plan,

@@ -25,6 +25,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..errors import ConfigurationError
 from ..faults import FaultPlan
 from ..mpi.machine import NETWORKS
+from ..topology import TopologySpec
 from ..version import __version__
 
 #: RunSpec fields a grid/point is allowed to set directly.
@@ -35,6 +36,9 @@ _ARG_PREFIX = "app_args."
 
 #: Prefix for sweeping fault-plan knobs, e.g. ``fault.ber``.
 _FAULT_PREFIX = "fault."
+
+#: Prefix for sweeping topology fields, e.g. ``topology.kind``.
+_TOPO_PREFIX = "topology."
 
 
 def _check_json_value(name: str, value: Any) -> None:
@@ -70,6 +74,10 @@ class RunSpec:
     #: degraded-fabric axes (see :class:`repro.faults.FaultPlan`).  Empty
     #: means a pristine machine (no injector attached at all).
     faults: Tuple[Tuple[str, Any], ...] = ()
+    #: Topology overrides as sorted ``(field, value)`` pairs (see
+    #: :class:`repro.topology.TopologySpec`).  Empty means the default
+    #: single-chassis crossbar (or the legacy ``fabric_radix`` tree).
+    topology: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.network not in NETWORKS:
@@ -84,8 +92,15 @@ class RunSpec:
             _check_json_value(f"{_ARG_PREFIX}{name}", value)
         for name, value in self.faults:
             _check_json_value(f"{_FAULT_PREFIX}{name}", value)
+        for name, value in self.topology:
+            _check_json_value(f"{_TOPO_PREFIX}{name}", value)
+        if self.topology and self.fabric_radix is not None:
+            raise ConfigurationError(
+                "set either topology.* axes or fabric_radix, not both"
+            )
         # Validate knob names and ranges eagerly, at declaration time.
         self.fault_plan
+        self.topology_spec
 
     @property
     def args(self) -> Dict[str, Any]:
@@ -99,6 +114,13 @@ class RunSpec:
             return None
         return FaultPlan.from_dict(dict(self.faults))
 
+    @property
+    def topology_spec(self) -> Optional[TopologySpec]:
+        """The run's :class:`~repro.topology.TopologySpec`, or ``None``."""
+        if not self.topology:
+            return None
+        return TopologySpec.from_dict(dict(self.topology))
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready canonical form (sorted app_args)."""
         return {
@@ -111,12 +133,14 @@ class RunSpec:
             "fabric_radix": self.fabric_radix,
             "ib_progress_thread": self.ib_progress_thread,
             "faults": dict(sorted(self.faults)),
+            "topology": dict(sorted(self.topology)),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
         args = data.get("app_args") or {}
         faults = data.get("faults") or {}
+        topology = data.get("topology") or {}
         return cls(
             app=data["app"],
             network=data["network"],
@@ -127,6 +151,7 @@ class RunSpec:
             fabric_radix=data.get("fabric_radix"),
             ib_progress_thread=bool(data.get("ib_progress_thread", False)),
             faults=tuple(sorted(faults.items())),
+            topology=tuple(sorted(topology.items())),
         )
 
     @property
@@ -152,6 +177,9 @@ class RunSpec:
         if self.faults:
             knobs = ",".join(f"{k}={v}" for k, v in self.faults)
             text += f" faults[{knobs}]"
+        if self.topology:
+            knobs = ",".join(f"{k}={v}" for k, v in self.topology)
+            text += f" topo[{knobs}]"
         return text
 
 
@@ -160,11 +188,14 @@ def _point_to_spec(point: Dict[str, Any], seed: int) -> RunSpec:
     fields: Dict[str, Any] = {}
     args: Dict[str, Any] = {}
     faults: Dict[str, Any] = {}
+    topology: Dict[str, Any] = {}
     for name, value in point.items():
         if name.startswith(_ARG_PREFIX):
             args[name[len(_ARG_PREFIX):]] = value
         elif name.startswith(_FAULT_PREFIX):
             faults[name[len(_FAULT_PREFIX):]] = value
+        elif name.startswith(_TOPO_PREFIX):
+            topology[name[len(_TOPO_PREFIX):]] = value
         elif name == "app_args":
             if not isinstance(value, dict):
                 raise ConfigurationError("app_args must be a mapping")
@@ -173,12 +204,17 @@ def _point_to_spec(point: Dict[str, Any], seed: int) -> RunSpec:
             if not isinstance(value, dict):
                 raise ConfigurationError("faults must be a mapping")
             faults.update(value)
+        elif name == "topology":
+            if not isinstance(value, dict):
+                raise ConfigurationError("topology must be a mapping")
+            topology.update(value)
         elif name in _RUN_FIELDS:
             fields[name] = value
         else:
             raise ConfigurationError(
                 f"unknown campaign parameter {name!r}; expected one of "
-                f"{_RUN_FIELDS}, {_ARG_PREFIX}<name> or {_FAULT_PREFIX}<knob>"
+                f"{_RUN_FIELDS}, {_ARG_PREFIX}<name>, {_FAULT_PREFIX}<knob> "
+                f"or {_TOPO_PREFIX}<field>"
             )
     if "app" not in fields:
         raise ConfigurationError("every campaign point needs an 'app'")
@@ -189,6 +225,7 @@ def _point_to_spec(point: Dict[str, Any], seed: int) -> RunSpec:
         seed=seed,
         app_args=tuple(sorted(args.items())),
         faults=tuple(sorted(faults.items())),
+        topology=tuple(sorted(topology.items())),
         **fields,
     )
 

@@ -14,8 +14,11 @@ from .prices import IB_PRICES, NODE_PRICE, Price, QUADRICS_PRICES, table_rows
 from .switchmath import (
     SwitchCount,
     best_fabric,
+    fat_tree,
+    max_fat_tree_nodes,
     max_two_level_nodes,
     single_chassis,
+    three_level,
     two_level,
 )
 
@@ -28,8 +31,11 @@ __all__ = [
     "SwitchCount",
     "single_chassis",
     "two_level",
+    "three_level",
+    "fat_tree",
     "best_fabric",
     "max_two_level_nodes",
+    "max_fat_tree_nodes",
     "NetworkCost",
     "elan4_cost",
     "ib96_cost",

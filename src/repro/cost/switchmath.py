@@ -22,10 +22,12 @@ class SwitchCount:
     spines: int
     #: Inter-switch links (cables beyond the host cables).
     isl_cables: int
+    #: Core-layer switches (three-level fat trees only).
+    cores: int = 0
 
     @property
     def total_switches(self) -> int:
-        return self.leaves + self.spines
+        return self.leaves + self.spines + self.cores
 
 
 def single_chassis(n_nodes: int, radix: int) -> SwitchCount:
@@ -75,3 +77,55 @@ def best_fabric(n_nodes: int, radix: int, spine_radix: int = 0) -> SwitchCount:
 def max_two_level_nodes(leaf_radix: int, spine_radix: int) -> int:
     """Largest network a two-level fabric of these switches supports."""
     return (leaf_radix // 2) * spine_radix
+
+
+def three_level(n_nodes: int, radix: int) -> SwitchCount:
+    """Three-level fat tree of homogeneous ``radix``-port switches.
+
+    Pods of ``m = radix // 2`` leaves and ``m`` aggregation switches
+    (each leaf sends one uplink to each agg) under a full-bisection core
+    layer of ``m^2`` switches, each with one port per pod — the k-ary
+    fat-tree construction, reaching ``radix * m^2`` hosts.
+    """
+    if n_nodes < 1:
+        raise CostModelError("need at least one node")
+    if radix < 4 or radix % 2:
+        raise CostModelError(f"radix must be even and >= 4: {radix}")
+    m = radix // 2
+    pod_capacity = m * m
+    max_nodes = radix * pod_capacity
+    if n_nodes > max_nodes:
+        raise CostModelError(
+            f"{n_nodes} nodes exceed a three-level fat tree of "
+            f"{radix}-port switches (max {max_nodes})"
+        )
+    pods = -(-n_nodes // pod_capacity)
+    leaves = -(-n_nodes // m)
+    aggs = pods * m
+    cores = m * m
+    # Leaf uplinks (m per leaf) plus agg uplinks (m per agg).
+    isl_cables = leaves * m + aggs * m
+    return SwitchCount(leaves=leaves, spines=aggs, isl_cables=isl_cables, cores=cores)
+
+
+def fat_tree(n_nodes: int, radix: int, levels: int) -> SwitchCount:
+    """Switch counts for a fat tree of explicit depth 1, 2 or 3."""
+    if levels == 1:
+        return single_chassis(n_nodes, radix)
+    if levels == 2:
+        return two_level(n_nodes, radix, radix)
+    if levels == 3:
+        return three_level(n_nodes, radix)
+    raise CostModelError(f"fat tree levels must be 1..3: {levels}")
+
+
+def max_fat_tree_nodes(radix: int, levels: int) -> int:
+    """Largest network a ``levels``-deep fat tree of this radix supports."""
+    m = radix // 2
+    if levels == 1:
+        return radix
+    if levels == 2:
+        return m * radix
+    if levels == 3:
+        return radix * m * m
+    raise CostModelError(f"fat tree levels must be 1..3: {levels}")

@@ -1,11 +1,14 @@
-"""Fabric models: links, crossbar and two-level switched topologies."""
+"""Fabric models: wire parameters plus the topology re-exports.
 
-from .fabric import (
-    CrossbarFabric,
-    FabricSpec,
-    TwoLevelFabric,
-    routes_are_deterministic,
-)
+Since 1.5.0 the routing/contention implementations live in
+:mod:`repro.topology`; this package keeps the historical import surface:
+``CrossbarFabric`` *is* :class:`repro.topology.CrossbarTopology` and
+``TwoLevelFabric`` is its deprecated two-level fat-tree alias.
+"""
+
+from ..topology.base import CrossbarTopology as CrossbarFabric
+from ..topology.fattree import TwoLevelFabric
+from .fabric import FabricSpec, routes_are_deterministic
 
 __all__ = [
     "CrossbarFabric",

@@ -1,29 +1,21 @@
-"""Switched-fabric model.
+"""Wire-level fabric parameters and routing properties.
 
-Both test-bed partitions attach every node to a single switch chassis (the
-Voltaire ISR 9600 and the Quadrics QS5A both have enough ports for 32
-nodes), so the performance model is a crossbar: each node owns a duplex
-link — an *uplink* (node -> switch) and a *downlink* (switch -> node) —
-and a message from A to B occupies A's uplink and B's downlink with the
-switch crossing adding latency.  Output contention (many senders to one
-receiver) emerges naturally from the FIFO downlink resource.
-
-A two-level fat tree (:class:`TwoLevelFabric`) is also provided for
-what-if studies at scales beyond one chassis; it adds per-hop latency and
-contends on inter-switch links chosen by deterministic (source-routed)
-up-routing, matching both technologies' deterministic routing.
+The topology implementations themselves live in :mod:`repro.topology`
+(crossbar, fat trees, 3D torus) — this module keeps the technology
+parameter set (:class:`FabricSpec`) they all consume, plus the
+routing-determinism property check used by the tests.  The historical
+names ``repro.fabric.CrossbarFabric`` and ``repro.fabric.TwoLevelFabric``
+remain importable from the package (the former *is*
+:class:`repro.topology.CrossbarTopology`; the latter is a deprecated
+alias for a two-level :class:`repro.topology.FatTreeTopology`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Tuple
+from typing import Any, List, Tuple
 
-from ..errors import ConfigurationError, NetworkError
-from ..sim import FifoResource, Stage
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..sim import Simulator
+from ..errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -53,157 +45,12 @@ class FabricSpec:
             raise ConfigurationError("latencies must be non-negative")
 
 
-class CrossbarFabric:
-    """Single-switch fabric connecting ``n_nodes`` nodes."""
-
-    def __init__(self, sim: "Simulator", n_nodes: int, spec: FabricSpec) -> None:
-        if n_nodes < 1:
-            raise ConfigurationError("fabric needs at least one node")
-        self.sim = sim
-        self.n_nodes = n_nodes
-        self.spec = spec
-        self.uplinks: List[FifoResource] = [
-            FifoResource(sim, name=f"up{i}") for i in range(n_nodes)
-        ]
-        self.downlinks: List[FifoResource] = [
-            FifoResource(sim, name=f"down{i}") for i in range(n_nodes)
-        ]
-
-    @property
-    def hops(self) -> int:
-        """Switch crossings between two distinct nodes."""
-        return 1
-
-    def wire_stages(self, src: int, dst: int) -> List[Stage]:
-        """Pipeline stages for the wire portion of a src -> dst message.
-
-        Same-node (NIC loopback) paths return an empty list: the message
-        never leaves the adapter, which is how both era MPI stacks handled
-        intra-node traffic on these NICs.
-        """
-        self._check(src)
-        self._check(dst)
-        if src == dst:
-            return []
-        s = self.spec
-        return [
-            Stage(
-                resource=self.uplinks[src],
-                bandwidth=s.link_bandwidth,
-                overhead=0.0,
-                latency_out=s.cable_latency + s.switch_latency,
-                name=f"up{src}",
-            ),
-            Stage(
-                resource=self.downlinks[dst],
-                bandwidth=s.link_bandwidth,
-                overhead=0.0,
-                latency_out=s.cable_latency,
-                name=f"down{dst}",
-            ),
-        ]
-
-    def path_latency(self, src: int, dst: int) -> float:
-        """Pure propagation latency of the path (no serialization)."""
-        if src == dst:
-            return 0.0
-        return 2 * self.spec.cable_latency + self.spec.switch_latency
-
-    def _check(self, node: int) -> None:
-        if not 0 <= node < self.n_nodes:
-            raise NetworkError(f"node {node} outside fabric of {self.n_nodes}")
-
-
-class TwoLevelFabric(CrossbarFabric):
-    """Folded-Clos fabric built from ``radix``-port leaf/spine switches.
-
-    Nodes attach to leaves (``radix // 2`` per leaf); every leaf connects
-    up to every spine.  Up-route selection is deterministic by destination
-    (d-mod-k), as in both technologies' source-routed/deterministic tables,
-    so hot spots are reproducible.
-    """
-
-    def __init__(
-        self, sim: "Simulator", n_nodes: int, spec: FabricSpec, radix: int
-    ) -> None:
-        super().__init__(sim, n_nodes, spec)
-        if radix < 4 or radix % 2:
-            raise ConfigurationError(f"radix must be even and >= 4: {radix}")
-        self.radix = radix
-        down_per_leaf = radix // 2
-        self.n_leaves = -(-n_nodes // down_per_leaf)  # ceil
-        self.n_spines = max(1, -(-self.n_leaves * down_per_leaf // radix))
-        # Inter-switch links: one up and one down resource per (leaf, spine).
-        self._leaf_up = [
-            [FifoResource(sim, name=f"l{l}s{s}.up") for s in range(self.n_spines)]
-            for l in range(self.n_leaves)
-        ]
-        self._leaf_down = [
-            [FifoResource(sim, name=f"l{l}s{s}.dn") for s in range(self.n_spines)]
-            for l in range(self.n_leaves)
-        ]
-
-    def leaf_of(self, node: int) -> int:
-        """Index of the leaf switch ``node`` attaches to."""
-        self._check(node)
-        return node // (self.radix // 2)
-
-    @property
-    def hops(self) -> int:
-        return 3  # leaf -> spine -> leaf
-
-    def wire_stages(self, src: int, dst: int) -> List[Stage]:
-        self._check(src)
-        self._check(dst)
-        if src == dst:
-            return []
-        s = self.spec
-        src_leaf, dst_leaf = self.leaf_of(src), self.leaf_of(dst)
-        if src_leaf == dst_leaf:
-            return super().wire_stages(src, dst)
-        spine = dst % self.n_spines  # deterministic d-mod-k up-route
-        return [
-            Stage(
-                resource=self.uplinks[src],
-                bandwidth=s.link_bandwidth,
-                latency_out=s.cable_latency + s.switch_latency,
-                name=f"up{src}",
-            ),
-            Stage(
-                resource=self._leaf_up[src_leaf][spine],
-                bandwidth=s.link_bandwidth,
-                latency_out=s.cable_latency + s.switch_latency,
-                name=f"l{src_leaf}->s{spine}",
-            ),
-            Stage(
-                resource=self._leaf_down[dst_leaf][spine],
-                bandwidth=s.link_bandwidth,
-                latency_out=s.cable_latency + s.switch_latency,
-                name=f"s{spine}->l{dst_leaf}",
-            ),
-            Stage(
-                resource=self.downlinks[dst],
-                bandwidth=s.link_bandwidth,
-                latency_out=s.cable_latency,
-                name=f"down{dst}",
-            ),
-        ]
-
-    def path_latency(self, src: int, dst: int) -> float:
-        if src == dst:
-            return 0.0
-        if self.leaf_of(src) == self.leaf_of(dst):
-            return super().path_latency(src, dst)
-        return 4 * self.spec.cable_latency + 3 * self.spec.switch_latency
-
-
-def routes_are_deterministic(
-    fabric: CrossbarFabric, pairs: List[Tuple[int, int]]
-) -> bool:
+def routes_are_deterministic(fabric: Any, pairs: List[Tuple[int, int]]) -> bool:
     """True when repeated stage lookups return identical resources.
 
     Used by property tests: deterministic routing is an invariant both of
-    the real networks and of reproducible simulation.
+    the real networks and of reproducible simulation.  Works on any
+    :class:`~repro.topology.Topology`.
     """
     for src, dst in pairs:
         first = [s.resource for s in fabric.wire_stages(src, dst)]

@@ -33,8 +33,9 @@ class FaultInjector:
     def __init__(self, sim: "Simulator", plan: FaultPlan) -> None:
         self.sim = sim
         self.plan = plan
-        #: Cache of per-packet-size corruption probabilities.
-        self._packet_prob: Dict[int, float] = {}
+        #: Cache of corruption probabilities, keyed (packet size, BER) —
+        #: link-targeted plans give different links different BERs.
+        self._packet_prob: Dict[tuple, float] = {}
         # -- statistics ----------------------------------------------------
         self.corrupted_packets = 0
         self.ib_retransmits = 0
@@ -48,32 +49,50 @@ class FaultInjector:
 
     # -- link bit errors ---------------------------------------------------
 
-    def packet_error_prob(self, nbytes: int) -> float:
-        """Corruption probability of one ``nbytes`` packet at plan BER."""
-        p = self._packet_prob.get(nbytes)
+    def link_ber(self, link: str) -> float:
+        """The effective BER of one named link (stage name).
+
+        The global ``ber`` composes with a matching ``link_ber`` as
+        independent error processes: ``1 - (1-ber)(1-link_ber)``.
+        """
+        plan = self.plan
+        ber = plan.ber
+        if plan.link_ber > 0.0 and link.startswith(plan.link):
+            ber = 1.0 - (1.0 - ber) * (1.0 - plan.link_ber)
+        return ber
+
+    def packet_error_prob(self, nbytes: int, ber: float = -1.0) -> float:
+        """Corruption probability of one ``nbytes`` packet at ``ber``
+        (default: the plan's global BER)."""
+        if ber < 0.0:
+            ber = self.plan.ber
+        key = (nbytes, ber)
+        p = self._packet_prob.get(key)
         if p is None:
             # 1 - (1-ber)^(8n), computed in log space for tiny BERs.
-            p = -math.expm1(8.0 * nbytes * math.log1p(-self.plan.ber))
-            self._packet_prob[nbytes] = p
+            p = -math.expm1(8.0 * nbytes * math.log1p(-ber))
+            self._packet_prob[key] = p
         return p
 
     def packet_errors(self, link: str, nbytes: int, mtu: int) -> int:
         """Corrupted-packet count for one message crossing ``link``.
 
         The message is cut into MTU packets (plus one runt for the
-        remainder); each is corrupted independently at the plan's BER.
-        Zero-byte control messages still occupy one minimal packet.
+        remainder); each is corrupted independently at the link's
+        effective BER.  Zero-byte control messages still occupy one
+        minimal packet.
         """
-        if self.plan.ber <= 0.0:
+        ber = self.link_ber(link)
+        if ber <= 0.0:
             return 0
         nbytes = max(nbytes, 1)
         full, rem = divmod(nbytes, mtu)
         stream = self._stream(f"ber.{link}")
         errors = 0
         if full:
-            errors += int(stream.binomial(full, self.packet_error_prob(mtu)))
+            errors += int(stream.binomial(full, self.packet_error_prob(mtu, ber)))
         if rem:
-            errors += int(stream.random() < self.packet_error_prob(rem))
+            errors += int(stream.random() < self.packet_error_prob(rem, ber))
         self.corrupted_packets += errors
         return errors
 
@@ -84,10 +103,13 @@ class FaultInjector:
         can be corrupted again (full MTU each — retries resend whole
         packets).  Draws from the same per-link stream.
         """
-        if self.plan.ber <= 0.0 or packets <= 0:
+        if packets <= 0:
+            return 0
+        ber = self.link_ber(link)
+        if ber <= 0.0:
             return 0
         stream = self._stream(f"ber.{link}")
-        errors = int(stream.binomial(packets, self.packet_error_prob(mtu)))
+        errors = int(stream.binomial(packets, self.packet_error_prob(mtu, ber)))
         self.corrupted_packets += errors
         return errors
 

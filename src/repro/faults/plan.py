@@ -36,6 +36,16 @@ class FaultPlan:
     #: packet of ``b`` bytes is corrupted with probability
     #: ``1 - (1 - ber)^(8b)``.
     ber: float = 0.0
+    #: Extra per-bit error probability on the links selected by ``link``
+    #: alone (composes with ``ber`` as independent error processes).
+    #: Lets a campaign degrade one named ISL or torus link — a flaky
+    #: cable — while the rest of the fabric stays clean.
+    link_ber: float = 0.0
+    #: Stage-name prefix ``link_ber`` applies to, e.g. ``"isl:l0>s1"``
+    #: for one fat-tree ISL, ``"isl:"`` for every inter-switch link,
+    #: ``"torus.0.0.0."`` for one node's torus ports, ``"up3"`` for a
+    #: node uplink.  Required when ``link_ber`` is set.
+    link: str = ""
     #: Probability that one NIC protocol operation (Elan thread-processor
     #: dispatch, HCA doorbell/DMA start) hits a transient stall.
     nic_stall_rate: float = 0.0
@@ -61,7 +71,11 @@ class FaultPlan:
     elan_retry_turnaround_us: float = 0.4
 
     def __post_init__(self) -> None:
-        for name in ("ber", "nic_stall_rate", "reg_failure_rate"):
+        if self.link_ber > 0.0 and not self.link:
+            raise ConfigurationError("link_ber needs a link name/prefix")
+        if self.link and self.link_ber <= 0.0:
+            raise ConfigurationError("link is set but link_ber is zero")
+        for name in ("ber", "link_ber", "nic_stall_rate", "reg_failure_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate < 1.0:
                 raise ConfigurationError(
@@ -82,10 +96,15 @@ class FaultPlan:
             raise ConfigurationError("ib_timeout_multiplier must be >= 1")
 
     @property
+    def wire_faulty(self) -> bool:
+        """True when any link can corrupt packets (global or targeted)."""
+        return self.ber > 0.0 or self.link_ber > 0.0
+
+    @property
     def enabled(self) -> bool:
         """True when any fault mechanism can actually fire."""
         return (
-            self.ber > 0.0
+            self.wire_faulty
             or self.nic_stall_rate > 0.0
             or self.reg_failure_rate > 0.0
         )

@@ -13,6 +13,8 @@ from typing import Any, Callable, Generator, List, Optional
 
 from ..errors import ConfigurationError
 from ..fabric import CrossbarFabric, TwoLevelFabric
+from ..topology import TopologySpec
+from ..topology.base import Topology
 from ..faults import FaultInjector, FaultPlan
 from ..hardware import Node, NodeSpec, POWEREDGE_1750
 from ..networks.elan import ElanNic
@@ -71,6 +73,7 @@ class Machine:
         elan_params: ElanParams = ELAN_4,
         node_spec: NodeSpec = POWEREDGE_1750,
         fabric_radix: Optional[int] = None,
+        topology: Optional[Any] = None,
         ib_progress_thread: bool = False,
         trace: Optional["Tracer"] = None,
         faults: Optional[FaultPlan] = None,
@@ -113,14 +116,33 @@ class Machine:
             self.sim.faults = FaultInjector(self.sim, faults)
 
         net_params = ib_params if network == "ib" else elan_params
-        if fabric_radix is not None:
-            # What-if studies beyond one chassis: a two-level fat tree of
+        if topology is not None and fabric_radix is not None:
+            raise ConfigurationError(
+                "pass either topology or fabric_radix, not both"
+            )
+        if topology is not None:
+            # The general seam: any repro.topology fabric, declaratively.
+            tspec = (
+                topology
+                if isinstance(topology, TopologySpec)
+                else TopologySpec.from_dict(dict(topology))
+            )
+            self.topology = tspec
+            self.fabric: Topology = tspec.build(
+                self.sim, n_nodes, net_params.fabric
+            )
+        elif fabric_radix is not None:
+            # Legacy what-if knob: a two-level fat tree of
             # ``fabric_radix``-port switches (extra hop latency, contended
             # inter-switch links).
-            self.fabric: CrossbarFabric = TwoLevelFabric(
+            self.topology = TopologySpec(
+                kind="fattree", radix=fabric_radix, levels=2
+            )
+            self.fabric = TwoLevelFabric(
                 self.sim, n_nodes, net_params.fabric, fabric_radix
             )
         else:
+            self.topology = TopologySpec()
             self.fabric = CrossbarFabric(self.sim, n_nodes, net_params.fabric)
         self.nodes: List[Node] = [
             Node(self.sim, i, node_spec) for i in range(n_nodes)

@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, List, Optional
 
 from ..errors import NetworkError
-from ..fabric import CrossbarFabric
 from ..hardware import Node
+from ..topology.base import Topology
 from ..sim import Event, FifoResource, Stage, transfer
 from ..telemetry.lifecycle import NULL_SPAN
 
@@ -64,7 +64,7 @@ class Nic:
         self,
         sim: "Simulator",
         node: Node,
-        fabric: CrossbarFabric,
+        fabric: Topology,
         tx_processing: float,
         rx_processing: float,
         chunk: int,
@@ -152,7 +152,7 @@ class Nic:
         faults = self.sim.faults
         if (
             faults is None
-            or faults.plan.ber <= 0.0
+            or not faults.plan.wire_faulty
             or dst_nic.node.node_id == self.node.node_id
         ):
             # Pristine path — also taken for NIC loopback, which never
@@ -220,15 +220,18 @@ def stage_component(name: str) -> str:
     """The blame component a pipeline stage belongs to, by naming scheme.
 
     ``pcix*`` is the host bus, ``nictx*``/``nicrx*`` the adapter engines,
-    ``up*``/``down*`` the node-to-switch link directions, and everything
-    else (``l*->s*`` / ``s*->l*`` spine crossings) the switch.
+    ``up*``/``down*`` the node-to-switch link directions and ``torus.*``
+    the torus neighbor links (both cables), ``isl:*`` the inter-switch
+    links of a fat tree, and everything else the switch.
     """
     if name.startswith("pcix"):
         return "pcix"
     if name.startswith(("nictx", "nicrx")):
         return "nic"
-    if name.startswith(("up", "down")):
+    if name.startswith(("up", "down", "torus")):
         return "link"
+    if name.startswith("isl"):
+        return "isl"
     return "switch"
 
 
@@ -236,16 +239,22 @@ def stage_breakdown(stages: List[Stage], size: int) -> dict:
     """Component shares of one wire transit's uncontended time.
 
     Apportions each stage's serialization + outbound latency to its
-    component and normalizes to shares summing to 1.0.  Used to split a
-    recorded ``wire:*`` phase for the blame table; contention stretches
-    the phase but the stage mix is the best available attribution.
+    component and normalizes to shares summing to 1.0.  A stage's
+    declared ``switch_latency`` slice is charged to ``switch`` instead,
+    so per-hop router crossings stay distinguishable from cable and ISL
+    time.  Used to split a recorded ``wire:*`` phase for the blame
+    table; contention stretches the phase but the stage mix is the best
+    available attribution.
     """
     totals: dict = {}
     for stage in stages:
         comp = stage_component(stage.name)
-        totals[comp] = (
-            totals.get(comp, 0.0) + stage.serialization(size) + stage.latency_out
-        )
+        t = stage.serialization(size) + stage.latency_out
+        crossing = min(stage.switch_latency, t)
+        if crossing > 0.0:
+            totals["switch"] = totals.get("switch", 0.0) + crossing
+            t -= crossing
+        totals[comp] = totals.get(comp, 0.0) + t
     # Summed in sorted key order so float rounding is iteration-order-free.
     scale = 0.0
     for comp in sorted(totals):

@@ -59,6 +59,10 @@ class Stage:
         Propagation delay in us from this stage to the next.
     name:
         Debug label.
+    switch_latency:
+        The slice of ``latency_out`` spent crossing a switch/router
+        (attribution metadata for blame breakdowns — never used in
+        timing, which reads ``latency_out`` alone).
     """
 
     resource: Optional[FifoResource]
@@ -66,6 +70,7 @@ class Stage:
     overhead: float = 0.0
     latency_out: float = 0.0
     name: str = ""
+    switch_latency: float = 0.0
 
     def serialization(self, size: int) -> float:
         """Full serialization time for ``size`` bytes."""

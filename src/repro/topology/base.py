@@ -1,0 +1,216 @@
+"""Topology base class and the single-chassis crossbar.
+
+A :class:`Topology` owns the directed links of a fabric as named
+:class:`~repro.sim.FifoResource` objects and answers one question for
+the NIC models: :meth:`~Topology.wire_stages` — the pipeline stages a
+message from ``src`` to ``dst`` occupies, one per traversed link.
+Routing must be a pure deterministic function of (src, dst): both era
+technologies use source-routed / deterministic tables, and the repro's
+same-seed bit-identity contract depends on it.  Resource tiebreak keys
+ride in from :func:`repro.sim.transfer`, which stamps each stage's
+grant with ``(message key, stage index)`` for the race sanitizer.
+
+Inter-switch and torus links are created lazily on first use and
+registered under ``link.*`` resource names (so occupancy shows up as
+``resource.link.*`` telemetry); node up/downlinks keep their historical
+``up{i}`` / ``down{i}`` names, which golden tests pin.
+
+:meth:`Topology.check_invariants` audits a bounded sample of the routes
+a run actually used: repeated lookups must return identical resource
+chains, every stage resource must be registered with the topology, and
+hop counts must stay within the topology's own bound.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..errors import ConfigurationError, NetworkError
+from ..sim import FifoResource, Stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fabric.fabric import FabricSpec
+    from ..sim import Simulator
+
+#: Routed (src, dst) pairs remembered for end-of-run invariant checks.
+#: Bounded so all-to-all traffic at 1024+ ranks cannot hoard memory.
+ROUTE_SAMPLE_LIMIT = 512
+
+
+class Topology:
+    """Base class: a set of nodes joined by directed FIFO links."""
+
+    #: Campaign-facing kind tag (matches ``TopologySpec.kind``).
+    kind = "abstract"
+
+    def __init__(self, sim: "Simulator", n_nodes: int, spec: "FabricSpec") -> None:
+        if n_nodes < 1:
+            raise ConfigurationError("fabric needs at least one node")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.spec = spec
+        #: Every link resource of the fabric, by resource name.  Node
+        #: links are registered eagerly; switch-to-switch links appear
+        #: on first route that crosses them (deterministic, since
+        #: routing and traffic are).
+        self.links: Dict[str, FifoResource] = {}
+        #: Insertion-ordered sample of routed (src, dst) pairs.
+        self._routed: Dict[Tuple[int, int], None] = {}
+
+    # -- link bookkeeping --------------------------------------------------
+
+    def _link(self, name: str) -> FifoResource:
+        """The directed link resource called ``name`` (created on demand)."""
+        res = self.links.get(name)
+        if res is None:
+            res = FifoResource(self.sim, name=name)
+            self.links[name] = res
+        return res
+
+    def _register(self, res: FifoResource) -> FifoResource:
+        """Register an eagerly-created link under its resource name."""
+        self.links[res.name] = res
+        return res
+
+    # -- routing -----------------------------------------------------------
+
+    def wire_stages(self, src: int, dst: int) -> List[Stage]:
+        """Pipeline stages for the wire portion of a src -> dst message.
+
+        Same-node (NIC loopback) paths return an empty list: the message
+        never leaves the adapter, which is how both era MPI stacks
+        handled intra-node traffic on these NICs.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return []
+        if len(self._routed) < ROUTE_SAMPLE_LIMIT:
+            self._routed[(src, dst)] = None
+        return self._route(src, dst)
+
+    def _route(self, src: int, dst: int) -> List[Stage]:
+        """The deterministic stage chain for distinct, in-range nodes."""
+        raise NotImplementedError
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """Pure propagation latency of the path (no serialization)."""
+        return sum(st.latency_out for st in self.wire_stages(src, dst))
+
+    @property
+    def hops(self) -> int:
+        """Worst-case switch crossings between two distinct nodes."""
+        raise NotImplementedError
+
+    def max_route_stages(self) -> int:
+        """Upper bound on the stage count of any route."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable topology summary for reports."""
+        return f"{self.kind} ({self.n_nodes} nodes)"
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise NetworkError(f"node {node} outside fabric of {self.n_nodes}")
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> List[dict]:
+        """Topology-level end-of-run checks over the sampled routes.
+
+        Returns plain problem dicts (``name``/``message``/``details``)
+        like the NIC and MPI-impl hooks; aggregated by
+        :func:`repro.analysis.check_invariants` under the ``topology``
+        subsystem.
+        """
+        problems: List[dict] = []
+        bound = self.max_route_stages()
+        for src, dst in sorted(self._routed):
+            first = [st.resource for st in self._route(src, dst)]
+            second = [st.resource for st in self._route(src, dst)]
+            if first != second:
+                problems.append({
+                    "name": "route_deterministic",
+                    "message": f"route {src}->{dst} changed between lookups",
+                    "details": {"src": src, "dst": dst},
+                })
+                continue
+            stages = self._route(src, dst)
+            if len(stages) > bound:
+                problems.append({
+                    "name": "hop_bound",
+                    "message": (
+                        f"route {src}->{dst} crosses {len(stages)} links, "
+                        f"beyond the topology bound of {bound}"
+                    ),
+                    "details": {"src": src, "dst": dst, "stages": len(stages)},
+                })
+            for st in stages:
+                res = st.resource
+                if res is not None and self.links.get(res.name) is not res:
+                    problems.append({
+                        "name": "links_closed",
+                        "message": (
+                            f"route {src}->{dst} uses unregistered link "
+                            f"{res.name or 'anonymous'!r}"
+                        ),
+                        "details": {"src": src, "dst": dst, "link": res.name},
+                    })
+        return problems
+
+
+class CrossbarTopology(Topology):
+    """Single-switch fabric connecting ``n_nodes`` nodes.
+
+    Both test-bed partitions attach every node to one chassis (the
+    Voltaire ISR 9600 and the Quadrics QS5A both have enough ports for
+    32 nodes): each node owns a duplex link — an *uplink* (node ->
+    switch) and a *downlink* (switch -> node) — and a message from A to
+    B occupies A's uplink and B's downlink with the switch crossing
+    adding latency.  Output contention (many senders to one receiver)
+    emerges naturally from the FIFO downlink resource.
+    """
+
+    kind = "crossbar"
+
+    def __init__(self, sim: "Simulator", n_nodes: int, spec: "FabricSpec") -> None:
+        super().__init__(sim, n_nodes, spec)
+        self.uplinks: List[FifoResource] = [
+            self._register(FifoResource(sim, name=f"up{i}"))
+            for i in range(n_nodes)
+        ]
+        self.downlinks: List[FifoResource] = [
+            self._register(FifoResource(sim, name=f"down{i}"))
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def hops(self) -> int:
+        return 1
+
+    def max_route_stages(self) -> int:
+        return 2
+
+    def describe(self) -> str:
+        return f"crossbar ({self.n_nodes} nodes, 1 chassis)"
+
+    def _route(self, src: int, dst: int) -> List[Stage]:
+        s = self.spec
+        return [
+            Stage(
+                resource=self.uplinks[src],
+                bandwidth=s.link_bandwidth,
+                overhead=0.0,
+                latency_out=s.cable_latency + s.switch_latency,
+                name=f"up{src}",
+                switch_latency=s.switch_latency,
+            ),
+            Stage(
+                resource=self.downlinks[dst],
+                bandwidth=s.link_bandwidth,
+                overhead=0.0,
+                latency_out=s.cable_latency,
+                name=f"down{dst}",
+            ),
+        ]

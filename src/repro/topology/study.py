@@ -1,0 +1,222 @@
+"""Simulated-vs-extrapolated scaling on multi-stage fabrics.
+
+Figure 8 of the paper extends the measured 32-node efficiency trend "out
+to 8192 processors, assuming the scaling trends continue exactly as they
+did" — a guess the authors call probably optimistic.  With real
+topologies the repro can *simulate* the large machine instead:
+:class:`TopologyScalingStudy` runs one app (ping-pong, b_eff, sweep3d,
+...) at a ladder of rank counts on one :class:`~.spec.TopologySpec`,
+fits :func:`repro.core.extrapolate.fit_trend` on the small counts only,
+and reports simulated and extrapolated efficiency side by side at the
+large ones — the first place where the 2004 methodology's guess can be
+checked against a contention-exact answer.
+
+Efficiency convention follows :mod:`repro.core.efficiency`: fixed-size
+apps (sweep3d, NPB) normalize to linear speedup from the smallest rank
+count; scaled-size apps (LAMMPS) to flat time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .spec import TopologySpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.extrapolate import TrendFit
+
+
+@dataclass(frozen=True)
+class TopologyScalingPoint:
+    """One rank count: simulated truth next to the trend's guess."""
+
+    ranks: int
+    time_us: float
+    efficiency: float
+    #: The trend fit's answer at this count (None below the fit window,
+    #: where the trend is *defined by* the simulation).
+    extrapolated: Optional[float]
+    #: True when this point helped define the trend.
+    fitted: bool
+    #: Kernel events processed (the cost of simulating this point).
+    events: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ranks": self.ranks,
+            "time_us": self.time_us,
+            "efficiency": self.efficiency,
+            "extrapolated": self.extrapolated,
+            "fitted": self.fitted,
+            "events": self.events,
+        }
+
+
+@dataclass
+class TopologyScalingResult:
+    """Outcome of one :class:`TopologyScalingStudy` run."""
+
+    app: str
+    network: str
+    topology: str
+    mode: str
+    points: List[TopologyScalingPoint] = field(default_factory=list)
+    fit: Optional[TrendFit] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "network": self.network,
+            "topology": self.topology,
+            "mode": self.mode,
+            "points": [p.to_dict() for p in self.points],
+            "fit": (
+                {
+                    "intercept": self.fit.intercept,
+                    "slope_per_doubling": self.fit.slope_per_doubling,
+                }
+                if self.fit
+                else None
+            ),
+        }
+
+    def table(self) -> str:
+        """Plain-text simulated-vs-extrapolated comparison."""
+        lines = [
+            f"{self.app} on {self.network}, {self.topology} ({self.mode}-size)",
+            f"{'ranks':>6}  {'time (us)':>12}  {'sim eff':>8}  "
+            f"{'trend eff':>9}  {'gap':>7}",
+        ]
+        for p in self.points:
+            trend = f"{100 * p.extrapolated:8.1f}%" if p.extrapolated is not None else "   (fit)"
+            gap = (
+                f"{100 * (p.efficiency - p.extrapolated):+6.1f}%"
+                if p.extrapolated is not None
+                else "       "
+            )
+            lines.append(
+                f"{p.ranks:>6}  {p.time_us:>12.1f}  {100 * p.efficiency:7.1f}%  "
+                f"{trend:>9}  {gap:>7}"
+            )
+        return "\n".join(lines)
+
+
+class TopologyScalingStudy:
+    """Simulate one app across rank counts on one topology.
+
+    ``fit_through`` bounds the trend-fit window: counts up to and
+    including it play the role of the paper's measured 32 nodes, larger
+    counts are where extrapolation used to be the only answer.  The
+    default fits on everything but the largest count.
+    """
+
+    def __init__(
+        self,
+        app: str = "sweep3d",
+        app_args: Optional[Dict[str, Any]] = None,
+        network: str = "elan",
+        rank_counts: Tuple[int, ...] = (32, 64, 128),
+        topology: Optional[TopologySpec] = None,
+        seed: int = 1,
+        mode: str = "fixed",
+        fit_through: int = 0,
+        tail_points: int = 3,
+    ) -> None:
+        if len(rank_counts) < 2:
+            raise ConfigurationError("need at least two rank counts")
+        if list(rank_counts) != sorted(set(rank_counts)):
+            raise ConfigurationError("rank counts must be strictly increasing")
+        if mode not in ("fixed", "scaled"):
+            raise ConfigurationError(f"mode must be 'fixed' or 'scaled': {mode}")
+        self.app = app
+        self.app_args = dict(app_args or {})
+        self.network = network
+        self.rank_counts = tuple(rank_counts)
+        self.topology = topology or TopologySpec()
+        self.seed = seed
+        self.mode = mode
+        self.fit_through = fit_through or self.rank_counts[-2]
+        self.tail_points = tail_points
+        if not any(n <= self.fit_through for n in rank_counts[:2]):
+            raise ConfigurationError(
+                "fit window excludes even the smallest counts"
+            )
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        wall_limit_s: Optional[float] = None,
+        check_invariants: bool = False,
+    ) -> TopologyScalingResult:
+        """Simulate every rank count; returns the comparison table."""
+        # Imported here, not at module level: the campaign and core
+        # layers sit above the topology package in the import graph.
+        from ..campaign.programs import build_program
+        from ..core.efficiency import fixed_efficiency, scaled_efficiency
+        from ..core.extrapolate import fit_trend
+        from ..mpi.machine import Machine
+
+        program = build_program(self.app, self.app_args)
+        times: List[Tuple[int, float]] = []
+        events: Dict[int, int] = {}
+        described = ""
+        for ranks in self.rank_counts:
+            machine = Machine(
+                self.network,
+                ranks,
+                ppn=1,
+                seed=self.seed,
+                topology=self.topology,
+            )
+            described = machine.fabric.describe()
+            outcome = machine.run(
+                program,
+                max_events=max_events,
+                wall_limit_s=wall_limit_s,
+                check_invariants=check_invariants,
+            )
+            numeric = [v for v in outcome.values if isinstance(v, (int, float))]
+            if not numeric:
+                raise ConfigurationError(
+                    f"app {self.app!r} returned no numeric rank values"
+                )
+            times.append((ranks, float(max(numeric))))
+            events[ranks] = machine.sim.events_processed
+
+        base_n, base_t = times[0]
+        if self.mode == "fixed":
+            effs = fixed_efficiency(base_n, base_t, times)
+        else:
+            effs = scaled_efficiency(base_t, times)
+        fitted_pairs = [(n, e) for n, e in effs if n <= self.fit_through]
+        fit = (
+            fit_trend(fitted_pairs, self.tail_points)
+            if len(fitted_pairs) >= 2
+            else None
+        )
+        result = TopologyScalingResult(
+            app=self.app,
+            network=self.network,
+            topology=described,
+            mode=self.mode,
+            fit=fit,
+        )
+        for (ranks, t), (_, eff) in zip(times, effs):
+            in_fit = ranks <= self.fit_through
+            result.points.append(
+                TopologyScalingPoint(
+                    ranks=ranks,
+                    time_us=t,
+                    efficiency=eff,
+                    extrapolated=(
+                        fit.efficiency_at(ranks)
+                        if fit is not None and not in_fit
+                        else None
+                    ),
+                    fitted=in_fit,
+                    events=events[ranks],
+                )
+            )
+        return result

@@ -511,6 +511,79 @@ def test_disable_all_suppresses_everything():
     )
 
 
+# -- RPR009: topology link/adjacency iteration order ------------------------
+
+
+class TestRPR009:
+    def test_for_over_links_fires(self):
+        assert_rule(
+            """
+            def f(fabric):
+                for name in fabric.links:
+                    use(name)
+            """,
+            "RPR009",
+        )
+
+    def test_dict_view_fires(self):
+        assert_rule(
+            """
+            def f(fabric):
+                for name, res in fabric.links.items():
+                    use(name, res)
+            """,
+            "RPR009",
+        )
+
+    def test_adjacency_comprehension_fires(self):
+        assert_rule(
+            """
+            def f(topo):
+                return [use(n) for n in topo.adjacency]
+            """,
+            "RPR009",
+        )
+
+    def test_list_materialization_fires(self):
+        assert_rule(
+            """
+            def f(fabric):
+                return list(fabric.links)
+            """,
+            "RPR009",
+        )
+
+    def test_suppressed(self):
+        assert_clean(
+            """
+            def f(fabric):
+                for name in fabric.links:  # repro-lint: disable=RPR009
+                    use(name)
+            """
+        )
+
+    def test_sorted_iteration_is_clean(self):
+        assert_clean(
+            """
+            def f(fabric):
+                for name in sorted(fabric.links):
+                    use(name)
+                for name, res in sorted(fabric.links.items()):
+                    use(name, res)
+            """
+        )
+
+    def test_membership_and_len_are_clean(self):
+        assert_clean(
+            """
+            def f(fabric, name):
+                if name in fabric.links:
+                    return len(fabric.links)
+                return fabric.links[name]
+            """
+        )
+
+
 def test_findings_carry_line_and_column():
     findings = findings_for(
         """
