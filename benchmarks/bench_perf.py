@@ -14,12 +14,15 @@ import time
 from pathlib import Path
 from typing import Any, Generator, Optional
 
-from repro import Machine
+from repro import FaultPlan, Machine
+from repro.campaign import default_kill_link
 from repro.mpi import MpiRank
 from repro.topology import TopologySpec
 
 SIZE = 8192
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_topology.json"
+_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = _ROOT / "BENCH_topology.json"
+CHAOS_RESULT_PATH = _ROOT / "BENCH_chaos.json"
 
 #: The benchmarked fabrics: (label, node count, topology spec).
 CASES = [
@@ -52,18 +55,29 @@ def far_pingpong(size: int, repetitions: int):
     return program
 
 
-def _measure(label: str, nodes: int, topo: TopologySpec, reps: int) -> dict:
-    machine = Machine("elan", nodes, seed=0, topology=topo)
+def _measure(
+    label: str,
+    nodes: int,
+    topo: TopologySpec,
+    reps: int,
+    network: str = "elan",
+    plan: Optional[FaultPlan] = None,
+) -> dict:
+    machine = Machine(network, nodes, seed=0, topology=topo, faults=plan)
     wall0 = time.perf_counter()  # repro-lint: disable=RPR001
     result = machine.run(far_pingpong(SIZE, reps), check_invariants=True)
     wall = time.perf_counter() - wall0  # repro-lint: disable=RPR001
     events = machine.sim.events_processed
+    stats = machine.sim.faults.stats() if plan is not None else {}
     return {
         "case": label,
         "topology": topo.describe(),
         "nodes": nodes,
         "repetitions": reps,
         "latency_us": result.values[0],
+        "elapsed_us": result.elapsed_us,
+        "window_start_us": max(s for s, _ in result.rank_spans),
+        "failovers": int(stats.get("failovers", 0)),
         "events": events,
         "wall_s": round(wall, 4),
         "events_per_sec": round(events / wall) if wall > 0 else 0,
@@ -102,3 +116,60 @@ def test_topology_events_per_sec(benchmark, quick):
 
     RESULT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
+
+
+def _measure_degraded(nodes: int, topo: TopologySpec, reps: int) -> dict:
+    """Pristine vs degraded IB runs on the same fat tree, one ISL dead.
+
+    The degraded run exercises the full hard-failure path — liveness
+    checks on every wire stage, timeout, retransmit, APM migration —
+    so this case floors the *failover* machinery's throughput, not just
+    healthy routing.
+    """
+    dead = default_kill_link(nodes, {"kind": topo.kind, "radix": topo.radix})
+    pristine = _measure("pristine", nodes, topo, reps, network="ib")
+    start = pristine["window_start_us"]
+    kill = round(start + 0.5 * pristine["elapsed_us"], 3)
+    plan = FaultPlan(link_down=dead, link_down_at_us=kill)
+    degraded = _measure("degraded", nodes, topo, reps, network="ib", plan=plan)
+    assert degraded["failovers"] >= 1, "kill missed the measured window"
+    return {
+        "case": f"degraded-fattree-{nodes}",
+        "topology": topo.describe(),
+        "nodes": nodes,
+        "repetitions": reps,
+        "dead_link": dead,
+        "kill_at_us": kill,
+        "pristine_latency_us": pristine["latency_us"],
+        "degraded_latency_us": degraded["latency_us"],
+        "bw_ratio": round(
+            pristine["elapsed_us"] / degraded["elapsed_us"], 6
+        ),
+        "failovers": degraded["failovers"],
+        "events": degraded["events"],
+        "wall_s": degraded["wall_s"],
+        "events_per_sec": degraded["events_per_sec"],
+    }
+
+
+def test_degraded_fabric_events_per_sec(benchmark, quick):
+    reps = 30 if quick else 150
+    topo = TopologySpec(kind="fattree", radix=8)
+
+    row = benchmark.pedantic(
+        lambda: _measure_degraded(64, topo, reps), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        f"{row['case']}: bw ratio {row['bw_ratio']:.3f}, "
+        f"{row['failovers']} failover(s), "
+        f"{row['events']} events, {row['events_per_sec']} events/sec"
+    )
+    # Degraded mode must still be a simulation, not a crawl: same
+    # order-of-magnitude throughput floor as the healthy fabrics.
+    assert row["events_per_sec"] > 1_000
+    assert 0.0 < row["bw_ratio"] < 1.0
+
+    CHAOS_RESULT_PATH.write_text(json.dumps([row], indent=2) + "\n")
+    print(f"wrote {CHAOS_RESULT_PATH}")

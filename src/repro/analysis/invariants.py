@@ -152,6 +152,11 @@ def check_invariants(machine: Any) -> List[Violation]:
     fabric_checker = getattr(machine.fabric, "check_invariants", None)
     if fabric_checker is not None:
         violations.extend(_wrap("topology", fabric_checker()))
+    faults = machine.sim.faults
+    if faults is not None:
+        fault_checker = getattr(faults, "check_invariants", None)
+        if fault_checker is not None:
+            violations.extend(_wrap("faults", fault_checker()))
     violations.extend(check_lifecycle(machine.sim))
     return violations
 

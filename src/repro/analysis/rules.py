@@ -20,6 +20,9 @@ RPR008      bare ``except`` or swallowed ``SimulationError``
 RPR009      unordered iteration over a topology ``links``/``adjacency``
             mapping (lazy link creation makes insertion order depend on
             traffic history; iterate ``sorted(...)``)
+RPR010      ``except`` clause swallowing ``LinkDeadError`` /
+            ``RetryExhaustedError`` without re-raising or recording a
+            fault annotation (hard failures must stay observable)
 ==========  ==========================================================
 
 Rules are deliberately narrow: each pattern flagged is one a reviewer
@@ -73,6 +76,11 @@ RULES: Dict[str, str] = {
         "iteration over a topology links/adjacency mapping follows "
         "insertion order, which lazy link creation ties to traffic "
         "history (iterate sorted(...) instead)"
+    ),
+    "RPR010": (
+        "except clause swallows LinkDeadError/RetryExhaustedError "
+        "without re-raising or recording a fault annotation; hard "
+        "failures must stay observable"
     ),
 }
 
@@ -142,6 +150,16 @@ _TOPO_MAPPING_ATTRS = {"links", "adjacency"}
 _SWALLOW_GUARDED = {
     "Exception", "BaseException", "SimulationError", "ReproError",
     "DeadlockError", "WatchdogError", "InvariantViolation",
+}
+
+#: Hard-failure exceptions guarded by RPR010: any handler catching one
+#: must re-raise or at least record the fault somewhere observable.
+_FAULT_SWALLOW_GUARDED = {"LinkDeadError", "RetryExhaustedError"}
+
+#: Attribute-call names that count as "recording the fault" in an
+#: RPR010 handler: span/telemetry annotations, journals, logs, counters.
+_FAULT_RECORD_ATTRS = {
+    "note", "bump", "record", "log", "append", "fail", "inc", "update",
 }
 
 
@@ -600,6 +618,18 @@ class RuleVisitor(ast.NodeVisitor):
                 f"except {'/'.join(names)} with a pass-only body "
                 "swallows kernel failures; handle or re-raise",
             )
+        if node.type is not None and self._swallows_fault(node):
+            names = [
+                n for n in self._handler_names(node.type)
+                if n in _FAULT_SWALLOW_GUARDED
+            ]
+            self._emit(
+                node,
+                "RPR010",
+                f"except {'/'.join(names)} neither re-raises nor records "
+                "the fault; a swallowed hard failure makes a dead link "
+                "look healthy (re-raise, or annotate a span/journal)",
+            )
         self.generic_visit(node)
 
     @staticmethod
@@ -614,6 +644,33 @@ class RuleVisitor(ast.NodeVisitor):
             path = _dotted(n)
             names.append(path[-1] if path else "?")
         return names
+
+    def _swallows_fault(self, node: ast.ExceptHandler) -> bool:
+        """RPR010: a hard-failure handler that hides the fault entirely.
+
+        A handler catching :class:`LinkDeadError` or
+        :class:`RetryExhaustedError` is fine when it re-raises (bare or
+        chained) or records the fault through any annotation-shaped call
+        (``span.note``, ``journal.append``, ``trace.log``,
+        ``counter.inc``, ...); anything else silently converts a dead
+        link into healthy-looking results.
+        """
+        if not any(
+            name in _FAULT_SWALLOW_GUARDED
+            for name in self._handler_names(node.type)
+        ):
+            return False
+        for stmt in node.body:
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Raise):
+                    return False
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in _FAULT_RECORD_ATTRS
+                ):
+                    return False
+        return True
 
     def _swallows(self, node: ast.ExceptHandler) -> bool:
         if any(name in _SWALLOW_GUARDED for name in self._handler_names(node.type)):

@@ -27,6 +27,7 @@ See the ``repro-campaign`` console script for file-driven campaigns.
 
 from .adapters import run_study, study_spec
 from .cache import ResultCache
+from .chaos import ChaosCell, ChaosResult, ChaosStudy, default_kill_link
 from .engine import DEFAULT_ROOT, CampaignEngine, CampaignResult, resolve_workers
 from .journal import Journal
 from .programs import APPS, build_program
@@ -36,6 +37,10 @@ from .spec import CampaignSpec, RunSpec, study_runspecs
 __all__ = [
     "CampaignSpec",
     "RunSpec",
+    "ChaosCell",
+    "ChaosResult",
+    "ChaosStudy",
+    "default_kill_link",
     "CampaignEngine",
     "CampaignResult",
     "ResultCache",

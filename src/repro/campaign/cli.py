@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from ..errors import ReproError
 from .cache import ResultCache
+from .chaos import ChaosStudy
 from .engine import DEFAULT_ROOT, CampaignEngine
 from .journal import Journal
 from .spec import CampaignSpec
@@ -100,15 +101,77 @@ def cmd_status(args: argparse.Namespace) -> int:
     if quarantined:
         print(f"quarantine: {len(quarantined)} specs failed all retries")
         for record in quarantined:
-            print(
-                f"  [quarantined] {record.get('label', record.get('key'))}: "
-                f"{record.get('error', 'unknown error')}"
-            )
+            print(f"  [quarantined] {record.get('label', record.get('key'))}")
+            # The reason, not just the count: surfaced exception first,
+            # then the root cause dug out of the __cause__ chain when it
+            # differs (e.g. "LinkDeadError" under a process crash).
+            print(f"    error: {record.get('error', 'unknown error')}")
+            cause = record.get("error_cause")
+            if cause and cause != record.get("error"):
+                print(f"    root cause: {cause}")
     for record in journal.tail(args.tail):
         status = record.get("status", "?")
         flag = " (reused)" if record.get("reused") else ""
         print(f"  [{status}]{flag} {record.get('label', record.get('key'))}")
+        if status == "error":
+            reason = record.get("error_cause") or record.get("error")
+            if reason:
+                print(f"      {reason}")
     return 0
+
+
+def _coerce(text: str):
+    """CLI value -> JSON scalar: int, float, bool or string."""
+    low = text.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _pairs(items) -> dict:
+    """Parse repeated ``key=value`` options into a dict."""
+    out = {}
+    for item in items or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ReproError(f"expected key=value, got {item!r}")
+        out[key] = _coerce(value)
+    return out
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    study = ChaosStudy(
+        app=args.app,
+        app_args=_pairs(args.arg),
+        nodes=args.nodes,
+        ppn=args.ppn,
+        topology=_pairs(args.topology),
+        networks=tuple(args.network or ("ib", "elan")),
+        kill_links=tuple(args.link or ()),
+        fractions=tuple(args.at or (0.25, 0.5, 0.75)),
+        seed=args.seed,
+        fault_knobs=_pairs(args.fault),
+    )
+    engine = CampaignEngine(
+        root=args.root,
+        workers=args.workers,
+        echo=None if args.quiet else (lambda m: print(m, file=sys.stderr)),
+        timeout_s=args.timeout,
+        max_events=args.max_events,
+    )
+    result = study.run(engine)
+    print(result.summary())
+    if args.json:
+        print(json.dumps(result.to_dict()))
+    # Survivable-or-structurally-reported cells are the study's point;
+    # only an *unexpected* failure (crash, watchdog, deadlock) is an
+    # error exit.
+    return 1 if result.failures() else 0
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
@@ -194,6 +257,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
     run.set_defaults(func=cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="hard-failure sweep: kill a fabric link at fractions of the "
+        "measured window, per technology",
+    )
+    _add_root(chaos)
+    chaos.add_argument(
+        "--app", default="is", help="application id (default: is, all-to-all)"
+    )
+    chaos.add_argument(
+        "--arg",
+        action="append",
+        metavar="KEY=VALUE",
+        help="application argument (repeatable; e.g. config=S)",
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=8, help="node count (default 8)"
+    )
+    chaos.add_argument(
+        "--ppn", type=int, default=1, help="processes per node (default 1)"
+    )
+    chaos.add_argument(
+        "--network",
+        action="append",
+        choices=["ib", "elan"],
+        help="technology to sweep (repeatable; default both)",
+    )
+    chaos.add_argument(
+        "--link",
+        action="append",
+        metavar="NAME",
+        help="fabric link to kill (repeatable; default: first inter-switch "
+        "hop of the longest route)",
+    )
+    chaos.add_argument(
+        "--at",
+        action="append",
+        type=float,
+        metavar="FRACTION",
+        help="kill time as a fraction of the measured window "
+        "(repeatable; default 0.25 0.5 0.75)",
+    )
+    chaos.add_argument(
+        "--topology",
+        action="append",
+        metavar="KEY=VALUE",
+        help="topology field (repeatable; e.g. kind=fattree radix=4 levels=2)",
+    )
+    chaos.add_argument(
+        "--fault",
+        action="append",
+        metavar="KEY=VALUE",
+        help="extra fault-plan knob for degraded runs "
+        "(repeatable; e.g. elan_rails=2)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="RNG seed")
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default 1 = serial)",
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock budget (simulator watchdog)",
+    )
+    chaos.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-run simulated-event budget",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="also print the result as JSON"
+    )
+    chaos.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     status = sub.add_parser("status", help="summarize journal and cache")
     _add_root(status)

@@ -114,6 +114,12 @@ def execute_run(
             record["error_cause"] = f"{type(cause).__name__}: {cause}"
     if machine is not None:
         record["metrics"] = machine.metrics()
+        # Absolute simulated end time.  ``elapsed_us`` spans only the
+        # measured window (post-init barrier to last return), so
+        # ``sim_end_us - elapsed_us`` recovers the window's start — the
+        # anchor chaos studies need to aim hard faults at a fraction of
+        # the *measured* run rather than at MPI_Init traffic.
+        record["sim_end_us"] = machine.sim.now
     if machine is not None and machine.sim.faults is not None:
         record["fault_stats"] = machine.sim.faults.stats()
     record["wall_s"] = time.perf_counter() - t0  # repro-lint: disable=RPR001

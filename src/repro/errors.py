@@ -90,6 +90,22 @@ class ConfigurationError(ReproError):
     """Invalid model or study configuration (bad sizes, counts, prices...)."""
 
 
+class UnknownLinkError(ConfigurationError, ValueError):
+    """A fault plan targets a link or switch the topology does not have.
+
+    Raised eagerly at :class:`~repro.mpi.machine.Machine` construction —
+    a mistyped ``fault.link`` or hard-event target would otherwise
+    silently never fire.  Also a :class:`ValueError` so plain
+    ``pytest.raises(ValueError)`` callers work.  ``candidates`` carries
+    the closest valid names for the error message.
+    """
+
+    def __init__(self, message: str, target: str = "", candidates=None) -> None:
+        self.target = target
+        self.candidates = list(candidates) if candidates else []
+        super().__init__(message)
+
+
 class NetworkError(ReproError):
     """Error in a NIC or fabric model."""
 
@@ -116,6 +132,22 @@ class RetryExhaustedError(NetworkError):
     ) -> None:
         self.attempts = attempts
         self.link = link
+        super().__init__(message)
+
+
+class LinkDeadError(NetworkError):
+    """A hard link failure left a message with no live path.
+
+    Elan-4's link-level CRC retry cannot recover from a dead wire: the
+    retry counter exhausts and the error surfaces to the job unless an
+    alternate rail exists.  InfiniBand raises this only when Automatic
+    Path Migration finds no live alternate path either.  ``link`` names
+    the dead link, ``at_us`` the simulation time the error surfaced.
+    """
+
+    def __init__(self, message: str, link: str = "", at_us: float = 0.0) -> None:
+        self.link = link
+        self.at_us = at_us
         super().__init__(message)
 
 

@@ -28,15 +28,21 @@ Quickstart::
     # RetryExhaustedError once a message exceeds its retry budget.
 """
 
-from ..errors import RetryExhaustedError
+from ..errors import LinkDeadError, RetryExhaustedError, UnknownLinkError
+from .hard import HardFaultState, validate_fault_targets
 from .injector import FaultInjector
-from .plan import FaultPlan
+from .plan import FaultPlan, HardEvent
 from .recovery import ib_retry_schedule, root_fault
 
 __all__ = [
     "FaultPlan",
     "FaultInjector",
+    "HardEvent",
+    "HardFaultState",
+    "LinkDeadError",
     "RetryExhaustedError",
+    "UnknownLinkError",
     "ib_retry_schedule",
     "root_fault",
+    "validate_fault_targets",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Dict
 
+from .hard import HardFaultState
 from .plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,6 +34,9 @@ class FaultInjector:
     def __init__(self, sim: "Simulator", plan: FaultPlan) -> None:
         self.sim = sim
         self.plan = plan
+        #: Scheduled hard-failure state, or None when the plan carries
+        #: only transient faults (keeps the soft path branch-cheap).
+        self.hard = HardFaultState(plan) if plan.has_hard_events else None
         #: Cache of corruption probabilities, keyed (packet size, BER) —
         #: link-targeted plans give different links different BERs.
         self._packet_prob: Dict[tuple, float] = {}
@@ -154,7 +158,7 @@ class FaultInjector:
 
     def stats(self) -> Dict[str, float]:
         """JSON-ready injected/recovered tallies for journals and tests."""
-        return {
+        tallies = {
             "corrupted_packets": self.corrupted_packets,
             "ib_retransmits": self.ib_retransmits,
             "ib_timeout_us": self.ib_timeout_us,
@@ -162,3 +166,10 @@ class FaultInjector:
             "nic_stalls": self.nic_stalls,
             "reg_faults": self.reg_faults,
         }
+        if self.hard is not None:
+            tallies.update(self.hard.stats())
+        return tallies
+
+    def check_invariants(self) -> list:
+        """End-of-run checks for the ``faults`` subsystem (hard state)."""
+        return self.hard.check_invariants() if self.hard is not None else []

@@ -15,7 +15,7 @@ from ..errors import ConfigurationError
 from ..fabric import CrossbarFabric, TwoLevelFabric
 from ..topology import TopologySpec
 from ..topology.base import Topology
-from ..faults import FaultInjector, FaultPlan
+from ..faults import FaultInjector, FaultPlan, validate_fault_targets
 from ..hardware import Node, NodeSpec, POWEREDGE_1750
 from ..networks.elan import ElanNic
 from ..networks.ib import Hca
@@ -109,11 +109,6 @@ class Machine:
         self.ib_params = ib_params
         self.elan_params = elan_params
         self.fault_plan = faults
-        # An injector is attached only when the plan can actually fire;
-        # a disabled plan leaves every model on its draw-free fast path,
-        # keeping no-fault results bit-identical to a plan-less machine.
-        if faults is not None and faults.enabled:
-            self.sim.faults = FaultInjector(self.sim, faults)
 
         net_params = ib_params if network == "ib" else elan_params
         if topology is not None and fabric_radix is not None:
@@ -144,6 +139,19 @@ class Machine:
         else:
             self.topology = TopologySpec()
             self.fabric = CrossbarFabric(self.sim, n_nodes, net_params.fabric)
+        # An injector is attached only when the plan can actually fire;
+        # a disabled plan leaves every model on its draw-free fast path,
+        # keeping no-fault results bit-identical to a plan-less machine.
+        # Plans that name fabric elements are resolved against the built
+        # topology here — a typo'd target raises UnknownLinkError (a
+        # ValueError) now instead of silently never firing — and the
+        # hard-event schedule is armed as a daemon process.
+        if faults is not None and faults.enabled:
+            validate_fault_targets(faults, self.fabric)
+            injector = FaultInjector(self.sim, faults)
+            self.sim.faults = injector
+            if injector.hard is not None:
+                injector.hard.arm(self.sim, self.fabric)
         self.nodes: List[Node] = [
             Node(self.sim, i, node_spec) for i in range(n_nodes)
         ]

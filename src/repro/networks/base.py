@@ -152,7 +152,10 @@ class Nic:
         faults = self.sim.faults
         if (
             faults is None
-            or not faults.plan.wire_faulty
+            or not (
+                faults.plan.wire_faulty
+                or (faults.hard is not None and faults.hard.active)
+            )
             or dst_nic.node.node_id == self.node.node_id
         ):
             # Pristine path — also taken for NIC loopback, which never
@@ -164,8 +167,37 @@ class Nic:
             end = yield from self._push_with_link_faults(
                 dst_nic, stages, size, faults, span, key=key
             )
-        span.phase(phase, start, end)
+        if span.live and faults is not None and faults.hard is not None:
+            self._record_transit(span, phase, start, end)
+        else:
+            span.phase(phase, start, end)
         return end
+
+    @staticmethod
+    def _record_transit(span: Any, phase: str, start: float, end: float) -> None:
+        """Record the transit phase, carved around failover windows.
+
+        Recovery paths record ``failover`` phases inside the transit
+        interval.  The critical-path walk picks the latest-ending own
+        phase, so one enclosing wire phase would shadow them and blame
+        would never see recovery downtime; splitting the wire phase
+        around each window keeps own phases non-overlapping.
+        """
+        windows = [
+            (s, e)
+            for name, s, e in span.phases
+            if name == "failover" and start <= s and e <= end
+        ]
+        if not windows:
+            span.phase(phase, start, end)
+            return
+        lo = start
+        for s, e in sorted(windows):
+            if s > lo:
+                span.phase(phase, lo, s)
+            lo = max(lo, e)
+        if end > lo:
+            span.phase(phase, lo, end)
 
     def _push_with_link_faults(
         self,
@@ -191,6 +223,20 @@ class Nic:
     def _wire_links(self, dst_nic: "Nic") -> List[Stage]:
         """The fabric link stages a message to ``dst_nic`` crosses."""
         return self.fabric.wire_stages(self.node.node_id, dst_nic.node.node_id)
+
+    def _fabric_stages(self, stages: List[Stage]) -> List[Stage]:
+        """The fabric-owned link stages within one concrete pipeline.
+
+        Unlike :meth:`_wire_links` this inspects the pipeline a transfer
+        *actually used*, so hard-failure checks stay correct even when a
+        concurrent recovery migrated the pair's route mid-flight.
+        """
+        fabric_links = self.fabric.links
+        return [
+            st for st in stages
+            if st.resource is not None
+            and fabric_links.get(st.resource.name) is st.resource
+        ]
 
     def _maybe_stall(self) -> Generator[Event, Any, None]:
         """Injected transient engine stall (doorbell/DMA/thread dispatch)."""

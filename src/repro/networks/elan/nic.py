@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Generator
 
-from ...errors import NetworkError
+from ...errors import LinkDeadError, NetworkError
 from ...hardware.node import Cpu, Node
 from ...mpi.matching import Envelope, MatchQueue
 from ...sim import Event, transfer
@@ -126,6 +126,7 @@ class ElanNic(Nic):
         self._h_match_cost = sim.metrics.histogram("elan.thread.match_cost_us")
         self._c_unexpected = sim.metrics.counter("elan.thread.unexpected_parked")
         self._c_link_retries = sim.metrics.counter("elan.link.crc_retries")
+        self._c_rail_switches = sim.metrics.counter("elan.link.rail_switches")
         #: Tports system-buffer occupancy channel (null when sampling off).
         self._ch_buffered = sim.telemetry.series.channel(
             f"elan{node.node_id}.buffered_bytes"
@@ -199,14 +200,34 @@ class ElanNic(Nic):
         the loop drains geometrically.  The added time is charged after
         the clean pipeline completes (retries serialize on the wire but
         are invisible to the protocol layer above).
+
+        A *dead* link is where this architecture's recovery story ends:
+        the hardware retry counter exhausts against a wire that will
+        never ack, and with a single rail the failure surfaces to the
+        job as :class:`~repro.errors.LinkDeadError` — the architectural
+        asymmetry the paper's reliability comparison turns on.  Dual
+        rail configurations (``elan_rails > 1``) re-issue the transfer
+        on the other rail instead.
         """
+        start = self.sim.now
         end = yield from transfer(
             self.sim, stages, size, chunk=self.chunk, key=key
         )
         plan = faults.plan
+        hard = faults.hard
+        wire = self._fabric_stages(stages)
+        if hard is not None and hard.active:
+            for st in wire:
+                if hard.dead_during(st.name, start, end):
+                    end = yield from self._hard_link_failure(
+                        dst_nic, st, size, faults, span, key
+                    )
+                    return end
+        if not plan.wire_faulty:
+            return end
         extra = 0.0
         retries = 0
-        for st in self._wire_links(dst_nic):
+        for st in wire:
             bad = faults.packet_errors(st.name, size, self.chunk)
             while bad:
                 retries += bad
@@ -229,6 +250,76 @@ class ElanNic(Nic):
             )
             yield self.sim.timeout(extra)
             end = self.sim.now
+        return end
+
+    def _hard_link_failure(
+        self, dst_nic, st, size, faults, span, key
+    ) -> Generator[Event, Any, float]:
+        """CRC exhaustion against a dead link: rail failover or error.
+
+        The link-level retry counter burns ``elan_dead_retry_limit``
+        full-MTU resends (each plus the CRC turnaround) before the NIC
+        declares the link down.  Single rail: structured
+        :class:`~repro.errors.LinkDeadError` naming the link.  Dual
+        rail: pay ``rail_switch_us``, migrate routing where the shape
+        allows, and re-issue the payload on the other rail.
+        """
+        plan = faults.plan
+        hard = faults.hard
+        retries = plan.elan_dead_retry_limit
+        burn = retries * (
+            st.chunk_time(self.chunk) + plan.elan_retry_turnaround_us
+        )
+        self.link_retries += retries
+        self._c_link_retries.inc(retries)
+        span.bump("elan_link_retries", retries)
+        faults.elan_link_retries += retries
+        hard.hard_failed_attempts += 1
+        self.sim.trace.log(
+            self.sim.now,
+            "fault.elan.link_dead",
+            f"node{self.node.node_id}->node{dst_nic.node.node_id} "
+            f"link {st.name} dead; {retries} CRC retries exhausted "
+            f"({burn:.3f}us)",
+        )
+        fo_start = self.sim.now
+        yield self.sim.timeout(burn)
+        if plan.elan_rails < 2:
+            hard.link_dead_errors += 1
+            raise LinkDeadError(
+                f"Elan-4 link-level retry exhausted: link {st.name} is "
+                f"dead and node {self.node.node_id} has no alternate rail "
+                f"(elan_rails={plan.elan_rails})",
+                link=st.name,
+                at_us=self.sim.now,
+            )
+        hard.pending_recoveries += 1
+        yield self.sim.timeout(plan.rail_switch_us)
+        # Install an alternate route when this rail's topology has one;
+        # either way the re-issue goes out — the second rail is an
+        # independent fabric that physically bypasses the dead link.
+        self.fabric.migrate(self.node.node_id, dst_nic.node.node_id)
+        stages = self.payload_stages(dst_nic)
+        fo_end = self.sim.now
+        span.phase("failover", fo_start, fo_end)
+        span.bump("failovers")
+        span.bump("failover_us", fo_end - fo_start)
+        span.bump("rail_switches")
+        end = yield from transfer(
+            self.sim, stages, size, chunk=self.chunk,
+            key=None if key is None else (key, "rail"),
+        )
+        hard.pending_recoveries -= 1
+        hard.rail_switches += 1
+        hard.failovers += 1
+        hard.failover_us += fo_end - fo_start
+        self._c_rail_switches.inc()
+        self.sim.trace.log(
+            self.sim.now,
+            "fault.elan.rail_switch",
+            f"node{self.node.node_id}->node{dst_nic.node.node_id} "
+            f"re-issued {size} B on alternate rail after {st.name} death",
+        )
         return end
 
     # -- transmit ------------------------------------------------------------------

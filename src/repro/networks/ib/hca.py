@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Generator, Set
 
-from ...errors import NetworkError, QueuePairError, RetryExhaustedError
+from ...errors import (
+    LinkDeadError,
+    NetworkError,
+    QueuePairError,
+    RetryExhaustedError,
+)
 from ...faults.recovery import ib_retry_schedule
 from ...hardware.node import Cpu, Node
 from ...sim import Event, Store, transfer
@@ -68,6 +73,9 @@ class Hca(Nic):
         self._c_retransmits = sim.metrics.counter("mvapich.transport.retransmits")
         self._c_timeout_us = sim.metrics.counter(
             "mvapich.transport.timeout_backoff_us"
+        )
+        self._c_migrations = sim.metrics.counter(
+            "mvapich.transport.path_migrations"
         )
 
     # -- per-rank plumbing ------------------------------------------------------
@@ -225,12 +233,21 @@ class Hca(Nic):
         is paid for, exactly as on the real fabric.  When the retry
         counter is exhausted the QP enters the error state, surfaced as
         :class:`~repro.errors.RetryExhaustedError`.
+
+        Hard link death extends the same machinery with Automatic Path
+        Migration: when an attempt overlapped a dead link, the timer
+        expires as usual, the HCA pays a seeded detection delay, and
+        the QP migrates to the topology's next live d-mod-k path (or
+        the opposite torus ring direction).  With no live alternate the
+        error surfaces as :class:`~repro.errors.LinkDeadError`.
         """
         plan = faults.plan
-        links = self._wire_links(dst_nic)
+        hard = faults.hard
         schedule = ib_retry_schedule(plan)
         attempts = 0
         while True:
+            wire = self._fabric_stages(stages)
+            start = self.sim.now
             end = yield from transfer(
                 self.sim,
                 stages,
@@ -239,10 +256,19 @@ class Hca(Nic):
                 key=None if key is None else (key, attempts),
             )
             attempts += 1
-            errors = sum(
-                faults.packet_errors(st.name, size, self.chunk) for st in links
-            )
-            if errors == 0:
+            dead = []
+            if hard is not None and hard.active:
+                dead = [
+                    st.name for st in wire
+                    if hard.dead_during(st.name, start, end)
+                ]
+            errors = 0
+            if plan.wire_faulty:
+                errors = sum(
+                    faults.packet_errors(st.name, size, self.chunk)
+                    for st in wire
+                )
+            if not dead and errors == 0:
                 return end
             timeout = next(schedule, None)
             if timeout is None:
@@ -252,7 +278,7 @@ class Hca(Nic):
                     f"from node {self.node.node_id} to node "
                     f"{dst_nic.node.node_id}",
                     attempts=attempts,
-                    link=links[0].name if links else "",
+                    link=dead[0] if dead else (wire[0].name if wire else ""),
                 )
             self.retransmits += 1
             self._c_retransmits.inc()
@@ -261,13 +287,71 @@ class Hca(Nic):
             span.bump("ib_timeout_us", timeout)
             faults.ib_retransmits += 1
             faults.ib_timeout_us += timeout
-            self.sim.trace.log(
-                self.sim.now,
-                "fault.ib.retry",
-                f"node{self.node.node_id}->node{dst_nic.node.node_id} "
-                f"size={size} attempt={attempts} timeout={timeout:g}us",
+            if not dead:
+                self.sim.trace.log(
+                    self.sim.now,
+                    "fault.ib.retry",
+                    f"node{self.node.node_id}->node{dst_nic.node.node_id} "
+                    f"size={size} attempt={attempts} timeout={timeout:g}us",
+                )
+                yield self.sim.timeout(timeout)
+                continue
+            stages = yield from self._migrate_path(
+                dst_nic, dead[0], timeout, hard, span
             )
-            yield self.sim.timeout(timeout)
+
+    def _migrate_path(
+        self, dst_nic, dead_link, timeout, hard, span
+    ) -> "Generator[Event, Any, list]":
+        """One APM cycle: burnt timer, detection delay, path migration.
+
+        Returns the rebuilt pipeline stages over the migrated route, or
+        raises :class:`~repro.errors.LinkDeadError` when the topology
+        has no live path left.
+        """
+        hard.hard_failed_attempts += 1
+        hard.pending_recoveries += 1
+        fo_start = self.sim.now
+        self.sim.trace.log(
+            self.sim.now,
+            "fault.ib.path_down",
+            f"node{self.node.node_id}->node{dst_nic.node.node_id} "
+            f"link {dead_link} dead; timer {timeout:g}us",
+        )
+        yield self.sim.timeout(timeout)
+        detect = hard.detection_delay(self.sim, f"hca{self.node.node_id}")
+        if detect > 0.0:
+            yield self.sim.timeout(detect)
+        route = self.fabric.migrate(self.node.node_id, dst_nic.node.node_id)
+        if route is None:
+            hard.pending_recoveries -= 1
+            hard.link_dead_errors += 1
+            raise LinkDeadError(
+                f"no live path from node {self.node.node_id} to node "
+                f"{dst_nic.node.node_id}: link {dead_link} is down and "
+                "automatic path migration found no alternate",
+                link=dead_link,
+                at_us=self.sim.now,
+            )
+        fo_end = self.sim.now
+        span.phase("failover", fo_start, fo_end)
+        span.bump("failovers")
+        span.bump("failover_us", fo_end - fo_start)
+        span.bump("failover_detect_us", detect)
+        span.bump("failover_retransmit_us", timeout)
+        hard.pending_recoveries -= 1
+        hard.failovers += 1
+        hard.failover_us += fo_end - fo_start
+        hard.detect_us += detect
+        self._c_migrations.inc()
+        self.sim.trace.log(
+            self.sim.now,
+            "fault.ib.migrate",
+            f"node{self.node.node_id}->node{dst_nic.node.node_id} "
+            f"migrated around {dead_link} "
+            f"(detect={detect:.3f}us, {len(route)} link(s))",
+        )
+        return self.payload_stages(dst_nic)
 
     def _deliver(self, record: NetRecord) -> None:
         inbox = self._inboxes.get(record.dst_rank)

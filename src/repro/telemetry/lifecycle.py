@@ -57,6 +57,8 @@ PHASE_COMPONENT: Dict[str, str] = {
     "credit_wait": "waiting",
     "wait": "waiting",
     "app": "app",
+    # hard-failure recovery (detection + path migration downtime)
+    "failover": "failover",
 }
 
 

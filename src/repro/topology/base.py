@@ -23,7 +23,7 @@ hop counts must stay within the topology's own bound.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import ConfigurationError, NetworkError
 from ..sim import FifoResource, Stage
@@ -56,6 +56,14 @@ class Topology:
         self.links: Dict[str, FifoResource] = {}
         #: Insertion-ordered sample of routed (src, dst) pairs.
         self._routed: Dict[Tuple[int, int], None] = {}
+        #: Liveness mask: stage names of links currently dead (hard
+        #: faults).  Insertion-ordered dict-as-set for determinism.
+        self.dead: Dict[str, None] = {}
+        #: Installed failover routes per (src, dst) — APM-style path
+        #: migrations that :meth:`wire_stages` serves instead of the
+        #: primary route.
+        self._migrations: Dict[Tuple[int, int], List[Stage]] = {}
+        self._target_cache: Optional[FrozenSet[str]] = None
 
     # -- link bookkeeping --------------------------------------------------
 
@@ -72,6 +80,115 @@ class Topology:
         self.links[res.name] = res
         return res
 
+    # -- liveness (hard failures) ------------------------------------------
+
+    def link_targets(self) -> List[str]:
+        """Every stage name a fault plan may target, sorted.
+
+        Full structural enumeration (not just links traffic happened to
+        create), so eager target validation can tell a typo from a link
+        that merely has not carried bytes yet.
+        """
+        raise NotImplementedError
+
+    def _target_set(self) -> FrozenSet[str]:
+        if self._target_cache is None:
+            self._target_cache = frozenset(self.link_targets())
+        return self._target_cache
+
+    def switch_ids(self) -> List[str]:
+        """Every switch/router id ``switch_down`` may target, sorted."""
+        raise NotImplementedError
+
+    def switch_links(self, switch_id: str) -> List[str]:
+        """Stage names of every link attached to ``switch_id`` (sorted).
+
+        Killing a switch kills all of them — both directions, including
+        neighbors' links pointing into it.
+        """
+        raise NotImplementedError
+
+    def link_alive(self, name: str) -> bool:
+        """Whether the named link is currently live."""
+        return name not in self.dead
+
+    def kill_link(self, name: str) -> bool:
+        """Mark one link dead; returns False if it already was.
+
+        Installed migrations crossing the newly dead link are evicted
+        (sorted order), so their pairs re-migrate on next failure.
+        """
+        if name not in self._target_set():
+            raise NetworkError(f"cannot kill unknown link {name!r}")
+        if name in self.dead:
+            return False
+        self.dead[name] = None
+        stale = [
+            pair for pair in sorted(self._migrations)
+            if any(st.name == name for st in self._migrations[pair])
+        ]
+        for pair in stale:
+            del self._migrations[pair]
+        return True
+
+    def revive_link(self, name: str) -> bool:
+        """Clear one link's dead mark; returns False if it was live.
+
+        Migrated pairs do *not* fail back — APM semantics: a migrated
+        path stays migrated until something kills it too.
+        """
+        if name not in self.dead:
+            return False
+        del self.dead[name]
+        return True
+
+    def route_alive(self, stages: List[Stage]) -> bool:
+        """Whether no stage of ``stages`` crosses a dead link."""
+        for st in stages:
+            if st.name in self.dead:
+                return False
+        return True
+
+    def _alternate_route(self, src: int, dst: int) -> Optional[List[Stage]]:
+        """Shape-specific path diversity around dead links; None if none.
+
+        Candidates are tried in a deterministic order that is a pure
+        function of (src, dst, liveness mask) — the failover half of the
+        bit-identity contract.
+        """
+        return None
+
+    def failover_route(self, src: int, dst: int) -> Optional[List[Stage]]:
+        """First live route in candidate order (primary first), or None."""
+        route = self._route(src, dst)
+        if self.route_alive(route):
+            return route
+        return self._alternate_route(src, dst)
+
+    def migrate(self, src: int, dst: int) -> Optional[List[Stage]]:
+        """Install (or confirm) a live route for (src, dst).
+
+        Returns the stages subsequent :meth:`wire_stages` calls for the
+        pair will serve, or None when no live path exists.  A live
+        primary route (e.g. after a flap revived the link before
+        detection finished) is returned without installing a migration.
+        """
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return []
+        current = self._migrations.get((src, dst))
+        if current is not None and self.route_alive(current):
+            return current
+        primary = self._route(src, dst)
+        if self.route_alive(primary):
+            return primary
+        alternate = self._alternate_route(src, dst)
+        if alternate is None:
+            return None
+        self._migrations[(src, dst)] = alternate
+        return alternate
+
     # -- routing -----------------------------------------------------------
 
     def wire_stages(self, src: int, dst: int) -> List[Stage]:
@@ -87,6 +204,10 @@ class Topology:
             return []
         if len(self._routed) < ROUTE_SAMPLE_LIMIT:
             self._routed[(src, dst)] = None
+        if self._migrations:
+            migrated = self._migrations.get((src, dst))
+            if migrated is not None:
+                return migrated
         return self._route(src, dst)
 
     def _route(self, src: int, dst: int) -> List[Stage]:
@@ -157,6 +278,38 @@ class Topology:
                         ),
                         "details": {"src": src, "dst": dst, "link": res.name},
                     })
+        # Installed failover routes must avoid every dead link ("no
+        # route crosses a dead link"): a migration is the route traffic
+        # actually uses, so a dead stage here is a live routing bug.
+        # Primary routes of pairs whose traffic predated the kill are
+        # legitimately stale and not audited.
+        for pair in sorted(self._migrations):
+            stages = self._migrations[pair]
+            crossed = [st.name for st in stages if st.name in self.dead]
+            if crossed:
+                problems.append({
+                    "name": "route_avoids_dead",
+                    "message": (
+                        f"migrated route {pair[0]}->{pair[1]} crosses "
+                        f"dead link(s) {crossed}"
+                    ),
+                    "details": {
+                        "src": pair[0], "dst": pair[1], "dead": crossed,
+                    },
+                })
+            for st in stages:
+                res = st.resource
+                if res is not None and self.links.get(res.name) is not res:
+                    problems.append({
+                        "name": "links_closed",
+                        "message": (
+                            f"migrated route {pair[0]}->{pair[1]} uses "
+                            f"unregistered link {res.name or 'anonymous'!r}"
+                        ),
+                        "details": {
+                            "src": pair[0], "dst": pair[1], "link": res.name,
+                        },
+                    })
         return problems
 
 
@@ -194,6 +347,19 @@ class CrossbarTopology(Topology):
 
     def describe(self) -> str:
         return f"crossbar ({self.n_nodes} nodes, 1 chassis)"
+
+    def link_targets(self) -> List[str]:
+        names = [f"up{i}" for i in range(self.n_nodes)]
+        names += [f"down{i}" for i in range(self.n_nodes)]
+        return sorted(names)
+
+    def switch_ids(self) -> List[str]:
+        return ["x0"]
+
+    def switch_links(self, switch_id: str) -> List[str]:
+        if switch_id != "x0":
+            raise NetworkError(f"crossbar has one switch, 'x0': {switch_id!r}")
+        return self.link_targets()
 
     def _route(self, src: int, dst: int) -> List[Stage]:
         s = self.spec

@@ -26,7 +26,7 @@ remain the default fabric while large what-ifs swap in deeper trees.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from ..cost import switchmath
 from ..errors import ConfigurationError, CostModelError
@@ -142,6 +142,142 @@ class FatTreeTopology(CrossbarTopology):
             f"{self.levels} level(s), {c.total_switches} switches, "
             f"{c.isl_cables} ISL cables)"
         )
+
+    # -- liveness (hard failures) ------------------------------------------
+
+    def link_targets(self) -> List[str]:
+        names = [f"up{i}" for i in range(self.n_nodes)]
+        names += [f"down{i}" for i in range(self.n_nodes)]
+        if self.levels == 2:
+            for leaf in range(self.n_leaves):
+                for spine in range(self.n_spines):
+                    names.append(f"isl:l{leaf}>s{spine}")
+                    names.append(f"isl:s{spine}>l{leaf}")
+        elif self.levels == 3:
+            m = self.radix // 2
+            for leaf in range(self.n_leaves):
+                pod = leaf // m
+                for j in range(m):
+                    agg = pod * m + j
+                    names.append(f"isl:l{leaf}>a{agg}")
+                    names.append(f"isl:a{agg}>l{leaf}")
+            # Core c wires to the aggs sharing its offset c % m in every
+            # pod (the d-mod-k selection arithmetic guarantees it).
+            for agg in range(self.n_spines):
+                for core in range(self.n_cores):
+                    if core % m == agg % m:
+                        names.append(f"isl:a{agg}>c{core}")
+                        names.append(f"isl:c{core}>a{agg}")
+        return sorted(names)
+
+    def switch_ids(self) -> List[str]:
+        if self.levels == 1:
+            return super().switch_ids()
+        ids = [f"l{i}" for i in range(self.n_leaves)]
+        if self.levels == 2:
+            ids += [f"s{j}" for j in range(self.n_spines)]
+        else:
+            ids += [f"a{j}" for j in range(self.n_spines)]
+            ids += [f"c{k}" for k in range(self.n_cores)]
+        return sorted(ids)
+
+    def switch_links(self, switch_id: str) -> List[str]:
+        if self.levels == 1:
+            return super().switch_links(switch_id)
+        kind, idx = switch_id[:1], switch_id[1:]
+        if kind not in ("l", "s", "a", "c") or not idx.isdigit():
+            raise ConfigurationError(f"unknown fat-tree switch {switch_id!r}")
+        idx = int(idx)
+        m = self.radix // 2
+        names: List[str] = []
+        if kind == "l":
+            for node in range(self.n_nodes):
+                if node // m == idx:
+                    names += [f"up{node}", f"down{node}"]
+            if self.levels == 2:
+                for spine in range(self.n_spines):
+                    names += [f"isl:l{idx}>s{spine}", f"isl:s{spine}>l{idx}"]
+            else:
+                pod = idx // m
+                for j in range(m):
+                    agg = pod * m + j
+                    names += [f"isl:l{idx}>a{agg}", f"isl:a{agg}>l{idx}"]
+        elif kind == "s":
+            for leaf in range(self.n_leaves):
+                names += [f"isl:l{leaf}>s{idx}", f"isl:s{idx}>l{leaf}"]
+        elif kind == "a":
+            pod = idx // m
+            for leaf in range(pod * m, min((pod + 1) * m, self.n_leaves)):
+                names += [f"isl:l{leaf}>a{idx}", f"isl:a{idx}>l{leaf}"]
+            for core in range(self.n_cores):
+                if core % m == idx % m:
+                    names += [f"isl:a{idx}>c{core}", f"isl:c{core}>a{idx}"]
+        else:
+            for agg in range(self.n_spines):
+                if agg % m == idx % m:
+                    names += [f"isl:a{agg}>c{idx}", f"isl:c{idx}>a{agg}"]
+        return sorted(set(names))
+
+    def _alternate_route(self, src: int, dst: int) -> Optional[List[Stage]]:
+        """Next live d-mod-k up-path, in deterministic offset order.
+
+        InfiniBand's Automatic Path Migration preprograms alternate
+        paths through different spines/cores; Elan's second rail uses an
+        independent fabric but this same selection models its routing.
+        Node cables (``up{i}``/``down{i}``) and same-leaf pairs have no
+        path diversity — a dead node cable is unroutable.
+        """
+        if self.levels == 1:
+            return None
+        src_leaf, dst_leaf = self.leaf_of(src), self.leaf_of(dst)
+        if src_leaf == dst_leaf:
+            return None
+        up = self._node_stage("up", src, last=False)
+        down = self._node_stage("down", dst, last=True)
+        if up.name in self.dead or down.name in self.dead:
+            return None
+        if self.levels == 2:
+            for k in range(1, self.n_spines):
+                spine = (dst + k) % self.n_spines
+                route = [
+                    up,
+                    self._isl_stage(f"isl:l{src_leaf}>s{spine}"),
+                    self._isl_stage(f"isl:s{spine}>l{dst_leaf}"),
+                    down,
+                ]
+                if self.route_alive(route):
+                    return route
+            return None
+        m = self.radix // 2
+        src_pod, dst_pod = self.pod_of(src), self.pod_of(dst)
+        if src_pod == dst_pod:
+            for k in range(1, m):
+                agg = dst_pod * m + (dst + k) % m
+                route = [
+                    up,
+                    self._isl_stage(f"isl:l{src_leaf}>a{agg}"),
+                    self._isl_stage(f"isl:a{agg}>l{dst_leaf}"),
+                    down,
+                ]
+                if self.route_alive(route):
+                    return route
+            return None
+        for k in range(1, self.n_cores):
+            core = (dst + k) % self.n_cores
+            offset = core % m
+            agg_src = src_pod * m + offset
+            agg_dst = dst_pod * m + offset
+            route = [
+                up,
+                self._isl_stage(f"isl:l{src_leaf}>a{agg_src}"),
+                self._isl_stage(f"isl:a{agg_src}>c{core}"),
+                self._isl_stage(f"isl:c{core}>a{agg_dst}"),
+                self._isl_stage(f"isl:a{agg_dst}>l{dst_leaf}"),
+                down,
+            ]
+            if self.route_alive(route):
+                return route
+        return None
 
     # -- routing -----------------------------------------------------------
 

@@ -146,9 +146,12 @@ class TorusTopology(Topology):
         return steps
 
     def _route(self, src: int, dst: int) -> List[Stage]:
+        return self._stages_for(src, self._steps(src, dst))
+
+    def _stages_for(self, src: int, steps: List[Tuple[int, int]]) -> List[Stage]:
+        """Stage chain for a concrete step sequence starting at ``src``."""
         s = self.spec
         here = list(self.coords(src))
-        steps = self._steps(src, dst)
         stages: List[Stage] = []
         for i, (axis, sign) in enumerate(steps):
             x, y, z = here
@@ -169,6 +172,99 @@ class TorusTopology(Topology):
             )
             here[axis] = (here[axis] + sign) % self.dims[axis]
         return stages
+
+    # -- liveness (hard failures) ------------------------------------------
+
+    def link_targets(self) -> List[str]:
+        names: List[str] = []
+        dx, dy, dz = self.dims
+        for z in range(dz):
+            for y in range(dy):
+                for x in range(dx):
+                    for axis in range(3):
+                        if self.dims[axis] < 2:
+                            continue
+                        for sym in ("+", "-"):
+                            names.append(
+                                f"torus.{x}.{y}.{z}.{_AXES[axis]}{sym}"
+                            )
+        return sorted(names)
+
+    def switch_ids(self) -> List[str]:
+        ids = []
+        dx, dy, dz = self.dims
+        for z in range(dz):
+            for y in range(dy):
+                for x in range(dx):
+                    ids.append(f"{x}.{y}.{z}")
+        return sorted(ids)
+
+    def switch_links(self, switch_id: str) -> List[str]:
+        """All directed links in and out of the router at ``x.y.z``."""
+        try:
+            x, y, z = (int(part) for part in switch_id.split("."))
+        except ValueError:
+            raise ConfigurationError(
+                f"torus router id must be 'x.y.z': {switch_id!r}"
+            ) from None
+        coord = (x, y, z)
+        if any(not 0 <= coord[a] < self.dims[a] for a in range(3)):
+            raise ConfigurationError(
+                f"torus router {switch_id!r} outside {self.dims}"
+            )
+        names = []
+        for axis in range(3):
+            size = self.dims[axis]
+            if size < 2:
+                continue
+            for sign, sym in ((+1, "+"), (-1, "-")):
+                names.append(f"torus.{x}.{y}.{z}.{_AXES[axis]}{sym}")
+                neighbor = list(coord)
+                neighbor[axis] = (neighbor[axis] - sign) % size
+                names.append(
+                    f"torus.{neighbor[0]}.{neighbor[1]}.{neighbor[2]}"
+                    f".{_AXES[axis]}{sym}"
+                )
+        return sorted(set(names))
+
+    def _alternate_route(self, src: int, dst: int) -> Optional[List[Stage]]:
+        """Dimension-ordered routing that may take the long way round.
+
+        Per axis: try the preferred (shorter) ring direction first, then
+        the opposite direction — the torus's only path diversity under
+        deterministic dimension-ordered routing.  An axis with dead
+        links in both directions makes the pair unroutable.
+        """
+        here = list(self.coords(src))
+        there = self.coords(dst)
+        steps: List[Tuple[int, int]] = []
+        for axis in range(3):
+            size = self.dims[axis]
+            forward = (there[axis] - here[axis]) % size
+            if forward == 0:
+                continue
+            prefer_plus = 2 * forward <= size
+            order = ((+1, -1) if prefer_plus else (-1, +1))
+            chosen = None
+            for sign in order:
+                hops = forward if sign > 0 else size - forward
+                probe = list(here)
+                alive = True
+                for _ in range(hops):
+                    x, y, z = probe
+                    arrow = _AXES[axis] + ("+" if sign > 0 else "-")
+                    if f"torus.{x}.{y}.{z}.{arrow}" in self.dead:
+                        alive = False
+                        break
+                    probe[axis] = (probe[axis] + sign) % size
+                if alive:
+                    chosen = [(axis, sign)] * hops
+                    break
+            if chosen is None:
+                return None
+            steps.extend(chosen)
+            here[axis] = there[axis]
+        return self._stages_for(src, steps)
 
     # -- invariants ----------------------------------------------------------
 

@@ -1,0 +1,243 @@
+"""Hard failures: link/switch death, failover routing, degraded mode.
+
+The two technologies diverge exactly as their recovery architectures
+say they must: InfiniBand's end-to-end retransmit plus APM-style path
+migration reroutes around a dead inter-switch link and completes
+degraded; single-rail Elan-4 exhausts its link-level CRC retries and
+surfaces a structured :class:`LinkDeadError` naming the link, while a
+dual-rail machine survives by switching rails.  Everything stays
+deterministic: same-seed reruns are bit-identical, a kill window that
+misses the run leaves results byte-equal to a pristine machine, and
+fault plans naming unknown links fail at Machine construction.
+"""
+
+import pytest
+
+from repro import FaultPlan, Machine, root_fault
+from repro.errors import ConfigurationError, LinkDeadError, SimulationError
+from repro.faults import HardEvent, UnknownLinkError
+from repro.faults.hard import HardFaultState
+from repro.telemetry import Telemetry
+from repro.topology import TopologySpec
+
+pytestmark = pytest.mark.faults
+
+FATTREE = TopologySpec(kind="fattree", radix=4, levels=2)
+RING = TopologySpec(kind="torus", dims="4x1x1")
+ISL = "isl:l0>s1"
+
+
+def far_exchange(size, repetitions):
+    """Bounce between rank 0 and the last rank (longest route)."""
+
+    def program(mpi):
+        last = mpi.size - 1
+        if mpi.rank not in (0, last):
+            return None
+        peer = last if mpi.rank == 0 else 0
+        sbuf, rbuf = ("fx-s", mpi.rank), ("fx-r", mpi.rank)
+        t0 = mpi.now
+        for _ in range(repetitions):
+            if mpi.rank == 0:
+                yield from mpi.send(dest=peer, size=size, buf=sbuf)
+                yield from mpi.recv(source=peer, size=size, buf=rbuf)
+            else:
+                yield from mpi.recv(source=peer, size=size, buf=rbuf)
+                yield from mpi.send(dest=peer, size=size, buf=sbuf)
+        return mpi.now - t0
+
+    return program
+
+
+def run(network, plan=None, topology=FATTREE, nodes=8, seed=3, **kwargs):
+    machine = Machine(
+        network, nodes, seed=seed, topology=topology, faults=plan, **kwargs
+    )
+    result = machine.run(far_exchange(8192, 12), check_invariants=True)
+    return machine, result
+
+
+def payload(result):
+    return (result.elapsed_us, tuple(result.values), tuple(result.rank_spans))
+
+
+def midpoint_kill(network, topology=FATTREE, nodes=8, seed=3):
+    """Absolute kill time at 50% of the pristine *measured* window."""
+    _, pristine = run(network, topology=topology, nodes=nodes, seed=seed)
+    start = max(s for s, _ in pristine.rank_spans)
+    return pristine, round(start + 0.5 * pristine.elapsed_us, 3)
+
+
+# -- plan validation ---------------------------------------------------------
+
+
+def test_hard_schedule_merges_scalars_and_event_string():
+    plan = FaultPlan(
+        link_down=ISL,
+        link_down_at_us=100.0,
+        link_up_at_us=250.0,
+        hard_events="switch_down@50:s0",
+    )
+    assert plan.enabled and plan.has_hard_events
+    assert plan.hard_schedule() == (
+        HardEvent(50.0, "switch_down", "s0"),
+        HardEvent(100.0, "link_down", ISL),
+        HardEvent(250.0, "link_up", ISL),
+    )
+
+
+def test_hard_event_targets_may_contain_colons():
+    plan = FaultPlan(hard_events=f"link_down@10:{ISL}")
+    assert plan.hard_schedule() == (HardEvent(10.0, "link_down", ISL),)
+
+
+@pytest.mark.parametrize(
+    "fields",
+    [
+        {"link_down": ISL},  # target without a time
+        {"link_down_at_us": 5.0},  # time without a target
+        {"link_up_at_us": 5.0},  # revival without a death
+        {"link_down": ISL, "link_down_at_us": 9.0, "link_up_at_us": 4.0},
+        {"hard_events": "explode@5:x"},  # unknown kind
+        {"hard_events": "link_down@oops:x"},  # bad time
+        {"detect_delay_us": -1.0},
+        {"elan_rails": 0},
+    ],
+)
+def test_malformed_hard_plans_are_rejected(fields):
+    with pytest.raises(ConfigurationError):
+        FaultPlan(**fields)
+
+
+def test_unknown_link_fails_at_machine_construction_with_candidates():
+    plan = FaultPlan(link_down="isl:l0>s9", link_down_at_us=10.0)
+    with pytest.raises(UnknownLinkError) as ei:
+        Machine("ib", 8, topology=FATTREE, faults=plan)
+    assert isinstance(ei.value, ValueError)
+    assert "isl:l0>s9" in str(ei.value)
+    assert ISL in ei.value.candidates  # near-miss suggestions
+
+
+def test_unknown_switch_fails_at_machine_construction():
+    plan = FaultPlan(switch_down="s7", switch_down_at_us=10.0)
+    with pytest.raises(UnknownLinkError):
+        Machine("ib", 8, topology=FATTREE, faults=plan)
+
+
+# -- InfiniBand: APM-style failover ------------------------------------------
+
+
+def test_ib_fattree_isl_kill_completes_degraded_with_failover():
+    pristine, kill = midpoint_kill("ib")
+    plan = FaultPlan(link_down=ISL, link_down_at_us=kill)
+    machine, degraded = run("ib", plan, telemetry=Telemetry(lifecycle=True))
+    stats = machine.sim.faults.stats()
+    assert stats["links_killed"] == 1
+    assert stats["failovers"] >= 1
+    assert stats["failover_us"] > 0.0
+    assert stats["link_dead_errors"] == 0
+    # Degraded mode: the run completes, but slower than pristine.
+    assert degraded.elapsed_us > pristine.elapsed_us
+    # Blame sees the recovery downtime as its own component.
+    failover = machine.blame()["components"].get("failover")
+    assert failover is not None and failover["us"] > 0.0
+
+
+def test_ib_failover_is_bit_identical_across_reruns():
+    _, kill = midpoint_kill("ib")
+    plan = FaultPlan(link_down=ISL, link_down_at_us=kill)
+    _, first = run("ib", plan)
+    _, second = run("ib", plan)
+    assert payload(first) == payload(second)
+
+
+def test_kill_after_program_end_leaves_results_pristine():
+    _, pristine = run("ib")
+    plan = FaultPlan(link_down=ISL, link_down_at_us=10_000_000.0)
+    _, late = run("ib", plan)
+    assert payload(late) == payload(pristine)
+
+
+def test_switch_down_kills_every_attached_isl_and_run_survives():
+    _, kill = midpoint_kill("ib")
+    plan = FaultPlan(switch_down="s1", switch_down_at_us=kill)
+    machine, result = run("ib", plan)
+    stats = machine.sim.faults.stats()
+    assert stats["switches_killed"] == 1
+    assert stats["links_killed"] >= 2  # both directions of >= 1 ISL
+    assert result.elapsed_us > 0
+
+
+# -- Elan-4: CRC exhaustion vs rail switch -----------------------------------
+
+
+def test_elan_single_rail_raises_structured_link_dead_error():
+    _, kill = midpoint_kill("elan")
+    plan = FaultPlan(link_down=ISL, link_down_at_us=kill)
+    with pytest.raises(SimulationError) as ei:
+        run("elan", plan)
+    cause = root_fault(ei.value, LinkDeadError)
+    assert cause is not None
+    assert cause.link == ISL
+    assert ISL in str(cause)
+
+
+def test_elan_dual_rail_survives_by_switching_rails():
+    _, kill = midpoint_kill("elan")
+    plan = FaultPlan(link_down=ISL, link_down_at_us=kill, elan_rails=2)
+    machine, result = run("elan", plan)
+    stats = machine.sim.faults.stats()
+    assert stats["rail_switches"] >= 1
+    assert stats["link_dead_errors"] == 0
+    assert result.elapsed_us > 0
+
+
+# -- torus: opposite ring direction ------------------------------------------
+
+
+def test_torus_wraparound_kill_reroutes_the_long_way():
+    # On a 4x1x1 ring the 0 -> 3 route is the single wraparound hop
+    # torus.0.0.0.x-; killing it forces the three-hop '+' detour.
+    dead = "torus.0.0.0.x-"
+    _, pristine = run("ib", topology=RING, nodes=4)
+    plan = FaultPlan(link_down=dead, link_down_at_us=0.0)
+    machine, degraded = run("ib", plan, topology=RING, nodes=4)
+    stats = machine.sim.faults.stats()
+    assert stats["failovers"] >= 1
+    assert degraded.elapsed_us > pristine.elapsed_us
+    assert not machine.fabric.link_alive(dead)
+    # The detour landed on '+' links the pristine route never touches.
+    assert any(
+        name.endswith("x+") for name in sorted(machine.fabric.links)
+    )
+
+
+def test_torus_failover_is_deterministic():
+    def plan():
+        return FaultPlan(
+            link_down="torus.0.0.0.x-", link_down_at_us=0.0, elan_rails=2
+        )
+
+    _, first = run("elan", plan(), topology=RING, nodes=4)
+    _, second = run("elan", plan(), topology=RING, nodes=4)
+    assert payload(first) == payload(second)
+
+
+# -- liveness bookkeeping ----------------------------------------------------
+
+
+def test_link_flap_revives_without_failing_back():
+    state = HardFaultState(
+        FaultPlan(link_down=ISL, link_down_at_us=10.0, link_up_at_us=20.0)
+    )
+    assert state.active
+    assert state.dead_during(ISL, 0.0, 5.0) is False
+    # dead_during consults recorded intervals, driven by the simulator;
+    # here we only check the pure schedule structure.
+    assert [e.kind for e in state.schedule] == ["link_down", "link_up"]
+
+
+def test_hard_invariants_flag_unapplied_schedules():
+    state = HardFaultState(FaultPlan(link_down=ISL, link_down_at_us=10.0))
+    problems = state.check_invariants()
+    assert any(p["name"] == "schedule_applied" for p in problems)
