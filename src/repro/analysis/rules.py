@@ -23,6 +23,10 @@ RPR009      unordered iteration over a topology ``links``/``adjacency``
 RPR010      ``except`` clause swallowing ``LinkDeadError`` /
             ``RetryExhaustedError`` without re-raising or recording a
             fault annotation (hard failures must stay observable)
+RPR011      blocking call (``time.sleep``, ``execute_run``,
+            ``engine.run``/``run_specs``) inside an HTTP request
+            handler class; serve handlers must answer from cache or
+            hand back a job id, never run simulations inline
 ==========  ==========================================================
 
 Rules are deliberately narrow: each pattern flagged is one a reviewer
@@ -81,6 +85,11 @@ RULES: Dict[str, str] = {
         "except clause swallows LinkDeadError/RetryExhaustedError "
         "without re-raising or recording a fault annotation; hard "
         "failures must stay observable"
+    ),
+    "RPR011": (
+        "blocking call (time.sleep, execute_run, engine.run/run_specs) "
+        "inside an HTTP request handler class; serve handlers answer "
+        "from cache or schedule onto the JobScheduler, never inline"
     ),
 }
 
@@ -161,6 +170,15 @@ _FAULT_SWALLOW_GUARDED = {"LinkDeadError", "RetryExhaustedError"}
 _FAULT_RECORD_ATTRS = {
     "note", "bump", "record", "log", "append", "fail", "inc", "update",
 }
+
+#: Base-class names that mark a class as an HTTP/socket request handler
+#: for RPR011 (the socketserver/http.server family, or anything a repo
+#: names like one).
+_HANDLER_BASE_SUFFIX = "RequestHandler"
+
+#: Method tails that run campaign work inline when called on an
+#: engine-shaped receiver (RPR011).
+_ENGINE_RUN_ATTRS = {"run", "run_specs"}
 
 
 def _dotted(node: ast.AST) -> List[str]:
@@ -292,10 +310,14 @@ class RuleVisitor(ast.NodeVisitor):
         #: Functions imported directly (``from random import choice``).
         self._random_funcs: Set[str] = set()
         self._wall_funcs: Set[str] = set()
+        #: ``from time import sleep`` style bindings (RPR011).
+        self._sleep_funcs: Set[str] = set()
         #: Stack of _FunctionInfo for enclosing functions.
         self._fn_stack: List[_FunctionInfo] = []
         #: Loop nesting depth (for RPR007).
         self._loop_depth = 0
+        #: Nesting depth of request-handler classes (RPR011).
+        self._handler_depth = 0
 
     # -- plumbing ----------------------------------------------------------
 
@@ -334,6 +356,8 @@ class RuleVisitor(ast.NodeVisitor):
                 name = alias.name
                 if ("time", name) in _WALL_CLOCK_CALLS:
                     self._wall_funcs.add(alias.asname or name)
+                elif name == "sleep":
+                    self._sleep_funcs.add(alias.asname or name)
         elif node.module == "datetime":
             for alias in node.names:
                 if alias.name in ("datetime", "date"):
@@ -345,6 +369,27 @@ class RuleVisitor(ast.NodeVisitor):
                 elif alias.name in _NP_RANDOM_ATTRS:
                     self._random_funcs.add(alias.asname or alias.name)
         self.generic_visit(node)
+
+    # -- class scopes (RPR011 handler context) -------------------------------
+
+    @staticmethod
+    def _is_handler_class(node: ast.ClassDef) -> bool:
+        """Whether a class is (or subclasses) an HTTP request handler."""
+        if node.name.endswith(_HANDLER_BASE_SUFFIX):
+            return True
+        for base in node.bases:
+            path = _dotted(base)
+            if path and path[-1].endswith(_HANDLER_BASE_SUFFIX):
+                return True
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_handler = self._is_handler_class(node)
+        if is_handler:
+            self._handler_depth += 1
+        self.generic_visit(node)
+        if is_handler:
+            self._handler_depth -= 1
 
     # -- function scopes ----------------------------------------------------
 
@@ -433,7 +478,48 @@ class RuleVisitor(ast.NodeVisitor):
         self._check_unordered_consumption(node)
         self._check_spec_picklability(node)
         self._check_instrument_fetch(node)
+        self._check_handler_blocking(node)
         self.generic_visit(node)
+
+    def _check_handler_blocking(self, node: ast.Call) -> None:
+        """RPR011: simulation work or sleeps inside a request handler.
+
+        An HTTP handler thread that sleeps or runs a campaign inline
+        stalls every queued client behind it.  The sanctioned shapes are
+        cache lookups, ``JobScheduler.submit`` (schedules onto the
+        worker pool) and the scheduler's deadline-bounded condition
+        waits — none of which this check matches.
+        """
+        if self._handler_depth == 0:
+            return
+        func = node.func
+        blocked = None
+        if isinstance(func, ast.Name):
+            if func.id in self._sleep_funcs:
+                blocked = f"{func.id}()"
+            elif func.id == "execute_run":
+                blocked = "execute_run()"
+        else:
+            path = _dotted(func)
+            if len(path) >= 2:
+                head, tail = path[0], path[-1]
+                if tail == "sleep" and head in self._time_aliases:
+                    blocked = f"{'.'.join(path)}()"
+                elif tail == "execute_run":
+                    blocked = f"{'.'.join(path)}()"
+                elif tail in _ENGINE_RUN_ATTRS and any(
+                    "engine" in part.lower() for part in path[:-1]
+                ):
+                    blocked = f"{'.'.join(path)}()"
+        if blocked is not None:
+            self._emit(
+                node,
+                "RPR011",
+                f"blocking call {blocked} inside a request handler "
+                "class stalls every queued client; answer from the "
+                "cache or submit to the JobScheduler and return a "
+                "job id",
+            )
 
     def _check_rng_and_clock(self, node: ast.Call) -> None:
         func = node.func

@@ -32,11 +32,16 @@ from .engine import DEFAULT_ROOT, CampaignEngine, CampaignResult, resolve_worker
 from .journal import Journal
 from .programs import APPS, build_program
 from .runner import execute_run, scalar_value
+from .scheduler import Job, JobScheduler, JobStore, Submission
 from .spec import CampaignSpec, RunSpec, study_runspecs
 
 __all__ = [
     "CampaignSpec",
     "RunSpec",
+    "Job",
+    "JobScheduler",
+    "JobStore",
+    "Submission",
     "ChaosCell",
     "ChaosResult",
     "ChaosStudy",

@@ -76,47 +76,104 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
-def cmd_status(args: argparse.Namespace) -> int:
-    journal = Journal(f"{args.root}/journal.jsonl")
-    quarantine = Journal(f"{args.root}/quarantine.jsonl")
-    cache = ResultCache(f"{args.root}/cache")
+def status_payload(root, tail: int = 5) -> dict:
+    """Machine-readable campaign-root status.
+
+    The single source of truth for campaign-state reporting: the
+    human-readable ``repro-campaign status`` text, its ``--json`` mode
+    and the serve daemon's ``GET /v1/status`` all render this dict.
+    """
+    journal = Journal(f"{root}/journal.jsonl")
+    quarantine = Journal(f"{root}/quarantine.jsonl")
+    cache = ResultCache(f"{root}/cache")
     entries = list(journal.entries())
     ok = [r for r in entries if r.get("status") == "ok"]
     errors = [r for r in entries if r.get("status") == "error"]
     reused = [r for r in entries if r.get("reused")]
     distinct = {r.get("key") for r in ok}
     sim_wall = sum(r.get("wall_s", 0.0) for r in entries if not r.get("reused"))
-    print(f"campaign root: {args.root}")
-    print(
-        f"journal: {len(entries)} records "
-        f"({len(ok)} ok, {len(errors)} error, {len(reused)} reused), "
-        f"{len(distinct)} distinct completed runs, "
-        f"{sim_wall:.2f}s simulated wall time"
-    )
-    print(
-        f"cache: {cache.count()} entries, "
-        f"{cache.size_bytes() / 1024.0:.1f} KiB"
-    )
-    quarantined = list(quarantine.entries())
-    if quarantined:
-        print(f"quarantine: {len(quarantined)} specs failed all retries")
-        for record in quarantined:
-            print(f"  [quarantined] {record.get('label', record.get('key'))}")
-            # The reason, not just the count: surfaced exception first,
-            # then the root cause dug out of the __cause__ chain when it
-            # differs (e.g. "LinkDeadError" under a process crash).
-            print(f"    error: {record.get('error', 'unknown error')}")
-            cause = record.get("error_cause")
-            if cause and cause != record.get("error"):
-                print(f"    root cause: {cause}")
-    for record in journal.tail(args.tail):
-        status = record.get("status", "?")
-        flag = " (reused)" if record.get("reused") else ""
-        print(f"  [{status}]{flag} {record.get('label', record.get('key'))}")
-        if status == "error":
+    quarantined = []
+    for record in quarantine.entries():
+        entry = {
+            "label": record.get("label", record.get("key")),
+            "key": record.get("key"),
+            "error": record.get("error", "unknown error"),
+        }
+        # The reason, not just the count: surfaced exception first, then
+        # the root cause dug out of the __cause__ chain when it differs
+        # (e.g. "LinkDeadError" under a process crash).
+        cause = record.get("error_cause")
+        if cause and cause != entry["error"]:
+            entry["root_cause"] = cause
+        quarantined.append(entry)
+    recent = []
+    for record in journal.tail(tail):
+        entry = {
+            "status": record.get("status", "?"),
+            "reused": bool(record.get("reused")),
+            "label": record.get("label", record.get("key")),
+            "key": record.get("key"),
+        }
+        if entry["status"] == "error":
             reason = record.get("error_cause") or record.get("error")
             if reason:
-                print(f"      {reason}")
+                entry["reason"] = reason
+        recent.append(entry)
+    return {
+        "root": str(root),
+        "journal": {
+            "records": len(entries),
+            "ok": len(ok),
+            "error": len(errors),
+            "reused": len(reused),
+            "distinct_completed": len(distinct),
+            "simulated_wall_s": round(sim_wall, 6),
+        },
+        "cache": {
+            "entries": cache.count(),
+            "size_bytes": cache.size_bytes(),
+        },
+        "quarantine": quarantined,
+        "recent": recent,
+    }
+
+
+def render_status(payload: dict) -> str:
+    """The historical human-readable status text, from the payload."""
+    journal = payload["journal"]
+    lines = [
+        f"campaign root: {payload['root']}",
+        f"journal: {journal['records']} records "
+        f"({journal['ok']} ok, {journal['error']} error, "
+        f"{journal['reused']} reused), "
+        f"{journal['distinct_completed']} distinct completed runs, "
+        f"{journal['simulated_wall_s']:.2f}s simulated wall time",
+        f"cache: {payload['cache']['entries']} entries, "
+        f"{payload['cache']['size_bytes'] / 1024.0:.1f} KiB",
+    ]
+    if payload["quarantine"]:
+        lines.append(
+            f"quarantine: {len(payload['quarantine'])} specs failed all retries"
+        )
+        for entry in payload["quarantine"]:
+            lines.append(f"  [quarantined] {entry['label']}")
+            lines.append(f"    error: {entry['error']}")
+            if entry.get("root_cause"):
+                lines.append(f"    root cause: {entry['root_cause']}")
+    for entry in payload["recent"]:
+        flag = " (reused)" if entry["reused"] else ""
+        lines.append(f"  [{entry['status']}]{flag} {entry['label']}")
+        if entry.get("reason"):
+            lines.append(f"      {entry['reason']}")
+    return "\n".join(lines)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    payload = status_payload(args.root, tail=args.tail)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(render_status(payload))
     return 0
 
 
@@ -346,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_root(status)
     status.add_argument(
         "--tail", type=int, default=5, help="recent journal lines to show"
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the status as one JSON object (the same payload "
+        "repro-serve exposes at GET /v1/status)",
     )
     status.set_defaults(func=cmd_status)
 

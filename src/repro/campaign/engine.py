@@ -16,6 +16,12 @@ every completion is journaled immediately, which is what makes a
 half-finished campaign resumable with no bookkeeping beyond the JSONL
 file.
 
+Execution itself lives in :class:`~.scheduler.JobScheduler`: the engine
+builds one per invocation, submits every spec, and waits.  The
+``repro-serve`` daemon drives a long-lived scheduler through the same
+interface, so batch campaigns and the query service share one
+cache/coalesce/retry/quarantine code path.
+
 Robustness: a failing point never takes the campaign down.  Failed runs
 are retried up to ``max_retries`` times with exponential backoff; points
 that still fail are **quarantined** — their final error record lands in
@@ -28,31 +34,20 @@ the unfinished tail serially.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from functools import partial
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from .cache import ResultCache
 from .journal import Journal
-from .runner import execute_run
+from .scheduler import JobScheduler
 from .spec import CampaignSpec, RunSpec
 
 #: Default campaign state directory (override with ``root=``).
 DEFAULT_ROOT = ".repro-campaign"
-
-
-def _pool_context():
-    # fork is much cheaper than spawn and available everywhere we run
-    # (Linux CI and dev boxes); fall back gracefully elsewhere.
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        return multiprocessing.get_context()
 
 
 def resolve_workers(workers: int) -> int:
@@ -169,6 +164,30 @@ class CampaignEngine:
         result.name = campaign.name
         return result
 
+    def scheduler(self, journal_reused: bool = True) -> JobScheduler:
+        """A :class:`~.scheduler.JobScheduler` with this engine's policy.
+
+        One is built per :meth:`run_specs` invocation (in-memory job
+        store); the ``repro-serve`` daemon builds a long-lived durable
+        one through the same constructor arguments, which is what keeps
+        batch and service execution on one code path.
+        """
+        return JobScheduler(
+            cache=self.cache,
+            journal=self.journal,
+            quarantine=self.quarantine,
+            workers=self.workers,
+            use_cache=self.use_cache,
+            trace=self.trace,
+            timeout_s=self.timeout_s,
+            max_events=self.max_events,
+            max_retries=self.max_retries,
+            retry_backoff_s=self.retry_backoff_s,
+            lifecycle=self.lifecycle,
+            echo=self.echo,
+            journal_reused=journal_reused,
+        )
+
     def run_specs(
         self, specs: Sequence[RunSpec], force: bool = False
     ) -> CampaignResult:
@@ -184,79 +203,28 @@ class CampaignEngine:
         journaled = {} if (force or not self.resume) else self.journal.completed()
 
         by_key: Dict[str, Dict[str, Any]] = {}
+        jobs: Dict[str, Any] = {}
         sources = {"cache": 0, "journal": 0, "run": 0}
-        to_run: List[RunSpec] = []
-        pending = set()
-        for spec in specs:
-            key = spec.key
-            if key in by_key or key in pending:
-                continue  # duplicate point: one execution serves all
-            record = None
-            if not force and self.use_cache:
-                record = self.cache.get(key)
-                if record is not None:
-                    sources["cache"] += 1
-            if record is None and key in journaled:
-                record = journaled[key]
-                sources["journal"] += 1
-                if self.use_cache:
-                    self.cache.put(key, record)
-            if record is not None:
-                by_key[key] = record
-                self.journal.append(dict(record, reused=True))
-                self._say(f"hit  {record.get('label', key)}")
-            else:
-                to_run.append(spec)
-                pending.add(key)
-
-        spec_by_key = {spec.key: spec for spec in to_run}
-        failed: List[RunSpec] = []
-
-        def absorb(record: Dict[str, Any], attempt: int) -> None:
-            if attempt:
-                record["retry"] = attempt
-            by_key[record["key"]] = record
-            if record.get("status") == "ok":
-                if self.use_cache:
-                    self.cache.put(record["key"], record)
-            else:
-                failed.append(spec_by_key[record["key"]])
-            self.journal.append(record)
-            status = "ok  " if record.get("status") == "ok" else "FAIL"
-            note = f" retry {attempt}/{self.max_retries}" if attempt else ""
-            self._say(
-                f"{status} {record.get('label', record['key'])} "
-                f"({record.get('wall_s', 0.0):.2f}s){note}"
-            )
-
-        for record in self._execute(to_run):
-            sources["run"] += 1
-            absorb(record, attempt=0)
-
-        # Bounded retry with exponential backoff; whatever still fails
-        # afterwards is quarantined and the rest of the campaign stands.
-        retried_ok = 0
-        for attempt in range(1, self.max_retries + 1):
-            if not failed:
-                break
-            retrying, failed = failed, []
-            backoff = self.retry_backoff_s * (2 ** (attempt - 1))
-            if backoff:
-                time.sleep(backoff)
-            self._say(
-                f"retrying {len(retrying)} failed run(s), "
-                f"attempt {attempt}/{self.max_retries}"
-            )
-            for record in self._execute(retrying):
-                absorb(record, attempt=attempt)
-            retried_ok += len(retrying) - len(failed)
-
-        quarantined = 0
-        for spec in failed:
-            record = by_key[spec.key]
-            self.quarantine.append(record)
-            quarantined += 1
-            self._say(f"QUARANTINED {record.get('label', spec.key)}")
+        scheduler = self.scheduler()
+        try:
+            for spec in specs:
+                key = spec.key
+                if key in by_key or key in jobs:
+                    continue  # duplicate point: one execution serves all
+                sub = scheduler.submit(spec, force=force, journaled=journaled)
+                if sub.record is not None:
+                    sources[sub.source] += 1
+                    by_key[key] = sub.record
+                else:
+                    # "coalesced" can't happen here (duplicates are
+                    # collapsed above), so this job is freshly scheduled.
+                    sources["run"] += 1
+                    jobs[key] = sub.job
+            scheduler.wait([job.id for job in jobs.values()])
+            for key, job in jobs.items():
+                by_key[key] = job.record
+        finally:
+            scheduler.close()
 
         records = [by_key[spec.key] for spec in specs]
         hits = sources["cache"] + sources["journal"]
@@ -264,43 +232,9 @@ class CampaignEngine:
             records=records,
             hits=hits,
             misses=sources["run"],
-            errors=len(failed),
+            errors=scheduler.stats["quarantined"],
             wall_s=time.perf_counter() - t0,  # repro-lint: disable=RPR001
             sources=sources,
-            quarantined=quarantined,
-            retried_ok=retried_ok,
+            quarantined=scheduler.stats["quarantined"],
+            retried_ok=scheduler.stats["retried_ok"],
         )
-
-    def _execute(self, specs: List[RunSpec]):
-        """Yield a record per spec as it completes (order unspecified)."""
-        if not specs:
-            return
-        run = partial(
-            execute_run,
-            trace=self.trace,
-            timeout_s=self.timeout_s,
-            max_events=self.max_events,
-            lifecycle=self.lifecycle,
-        )
-        if self.workers <= 1 or len(specs) == 1:
-            for spec in specs:
-                yield run(spec)
-            return
-        done = set()
-        try:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(self.workers, len(specs))) as pool:
-                # Unordered so each completion is journaled (and therefore
-                # resumable) the moment it lands; request order is restored
-                # by the caller via spec keys.
-                for record in pool.imap_unordered(run, specs, chunksize=1):
-                    done.add(record["key"])
-                    yield record
-        except Exception as exc:  # pool infrastructure died, not a run
-            self._say(
-                f"worker pool failed ({type(exc).__name__}: {exc}); "
-                f"finishing the remaining runs serially"
-            )
-            for spec in specs:
-                if spec.key not in done:
-                    yield run(spec)

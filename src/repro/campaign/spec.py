@@ -48,6 +48,30 @@ def _check_json_value(name: str, value: Any) -> None:
         )
 
 
+def _canon_scalar(value: Any) -> Any:
+    """Collapse numerically-equal JSON scalars onto one canonical form.
+
+    ``ber=0`` and ``ber=0.0`` describe the same simulation, so they must
+    hash to the same cache key — otherwise the serve layer would run (and
+    fail to coalesce) duplicate jobs for one question.  Integral floats
+    become ints; bools are left alone (``True != 1`` as a knob value).
+    """
+    if isinstance(value, float) and not isinstance(value, bool):
+        if value.is_integer():
+            return int(value)
+    return value
+
+
+def _canon_pairs(pairs: Iterable[Tuple[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Sorted, scalar-canonicalized ``(name, value)`` pairs.
+
+    Sorting here (not just in ``to_dict``) makes *spec equality* — and
+    therefore in-flight coalescing — agree with cache-key equality even
+    for specs built with hand-ordered tuples.
+    """
+    return tuple(sorted((name, _canon_scalar(value)) for name, value in pairs))
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One declarative measurement run (app x network x shape x seed).
@@ -84,6 +108,23 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown network {self.network!r}; expected one of {NETWORKS}"
             )
+        # Canonicalize before validating: semantically identical specs
+        # (hand-ordered tuples, int-vs-float scalars like ber=0 vs
+        # ber=0.0) must compare equal and hash to one cache key, or the
+        # serve layer would fail to coalesce identical in-flight work.
+        # The dataclass is frozen, so normalized fields are written back
+        # through object.__setattr__.
+        for name in ("app_args", "faults", "topology"):
+            object.__setattr__(self, name, _canon_pairs(getattr(self, name)))
+        for name in ("nodes", "ppn", "seed", "fabric_radix"):
+            value = getattr(self, name)
+            if isinstance(value, float) and not isinstance(value, bool):
+                canon = _canon_scalar(value)
+                if not isinstance(canon, int):
+                    raise ConfigurationError(
+                        f"{name}={value!r} must be an integer"
+                    )
+                object.__setattr__(self, name, canon)
         if self.nodes < 1:
             raise ConfigurationError("need at least one node")
         if self.ppn < 1:
@@ -161,13 +202,21 @@ class RunSpec:
         Any change to the spec *or* to the package version (and hence
         potentially to the model) yields a new key, so stale cache
         entries can never be mistaken for current results.
+
+        Memoized per instance: the serve daemon derives the key on
+        every request, and the spec is frozen so it cannot go stale.
         """
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
         payload = json.dumps(
             {"version": __version__, "run": self.to_dict()},
             sort_keys=True,
             separators=(",", ":"),
         )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+        object.__setattr__(self, "_key", digest)
+        return digest
 
     def label(self) -> str:
         """Compact human-readable identity for journals and logs."""

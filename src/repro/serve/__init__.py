@@ -1,0 +1,42 @@
+"""Campaign-as-a-service: an HTTP/JSON layer over the result cache.
+
+``repro.serve`` wraps the campaign :class:`~repro.campaign.scheduler.
+JobScheduler` in a stdlib-only threading HTTP daemon.  Cached results
+answer instantly; cache misses come back as job handles that clients
+poll (``GET /v1/jobs/<id>``) or stream (``.../events``).  Cached
+lifecycle records render as self-contained HTML blame reports at
+``GET /v1/runs/<key>/explain``.
+
+Quickstart (in-process, as the tests and benchmark use it)::
+
+    from repro.serve import ServeService
+
+    service = ServeService(".repro-campaign", workers=2).start()
+    print(service.url)   # http://127.0.0.1:<port>
+    ...
+    service.close()
+
+Or from the shell: ``repro-serve --root .repro-campaign --port 8642``.
+"""
+
+from .report import record_explainable, record_html, record_report
+from .server import (
+    MAX_CAMPAIGN_RUNS,
+    CampaignHandle,
+    ReproServer,
+    ServeHandler,
+    ServeService,
+    ServeState,
+)
+
+__all__ = [
+    "CampaignHandle",
+    "MAX_CAMPAIGN_RUNS",
+    "ReproServer",
+    "ServeHandler",
+    "ServeService",
+    "ServeState",
+    "record_explainable",
+    "record_html",
+    "record_report",
+]

@@ -604,3 +604,106 @@ def test_syntax_error_reports_rpr000():
     findings = lint_source("def broken(:\n", "bad.py")
     (finding,) = findings
     assert finding.rule == "RPR000"
+
+
+# -- RPR011: blocking calls inside HTTP request handlers ---------------------
+
+
+class TestRPR011:
+    def test_time_sleep_in_handler_fires(self):
+        assert_rule(
+            """
+            import time
+
+            class ServeHandler(BaseHTTPRequestHandler):
+                def do_POST(self):
+                    time.sleep(0.1)
+            """,
+            "RPR011",
+        )
+
+    def test_imported_sleep_in_handler_fires(self):
+        assert_rule(
+            """
+            from time import sleep
+
+            class ServeHandler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    sleep(1)
+            """,
+            "RPR011",
+        )
+
+    def test_execute_run_in_handler_fires(self):
+        assert_rule(
+            """
+            from repro.campaign.runner import execute_run
+
+            class JobsHandler(http.server.BaseHTTPRequestHandler):
+                def do_POST(self):
+                    record = execute_run(self.spec)
+            """,
+            "RPR011",
+        )
+
+    def test_engine_run_in_handler_fires(self):
+        assert_rule(
+            """
+            class ApiRequestHandler:
+                def do_POST(self):
+                    return self.engine.run(spec)
+            """,
+            "RPR011",
+        )
+
+    def test_engine_run_specs_in_handler_fires(self):
+        assert_rule(
+            """
+            class ServeHandler(BaseHTTPRequestHandler):
+                def do_POST(self):
+                    return self.server.engine.run_specs(specs)
+            """,
+            "RPR011",
+        )
+
+    def test_suppression_is_honored(self):
+        assert_clean(
+            """
+            import time
+
+            class ServeHandler(BaseHTTPRequestHandler):
+                def do_POST(self):
+                    time.sleep(0.1)  # repro-lint: disable=RPR011
+            """
+        )
+
+    def test_scheduler_submit_is_clean(self):
+        assert_clean(
+            """
+            class ServeHandler(BaseHTTPRequestHandler):
+                def do_POST(self):
+                    sub = self.state.scheduler.submit(spec)
+                    self.state.scheduler.wait([sub.job.id], timeout_s=30)
+            """
+        )
+
+    def test_blocking_outside_handler_is_clean(self):
+        assert_clean(
+            """
+            import time
+
+            class BatchDriver:
+                def run_all(self, engine, specs):
+                    time.sleep(0.1)
+                    return engine.run_specs(specs)
+            """
+        )
+
+    def test_subprocess_run_is_not_confused(self):
+        assert_clean(
+            """
+            class ServeHandler(BaseHTTPRequestHandler):
+                def do_GET(self):
+                    return subprocess.run(["git", "rev-parse", "HEAD"])
+            """
+        )

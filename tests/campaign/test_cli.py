@@ -93,3 +93,19 @@ def test_module_entry_point():
     )
     assert proc.returncode == 0
     assert "run" in proc.stdout and "status" in proc.stdout
+
+
+def test_status_json_output(spec_file, tmp_path, capsys):
+    root = tmp_path / "root"
+    run_cli("run", spec_file, "--root", root, "--quiet")
+    capsys.readouterr()
+    assert run_cli("status", "--root", root, "--json") == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["journal"]["records"] == 4
+    assert payload["journal"]["ok"] == 4
+    assert payload["journal"]["distinct_completed"] == 4
+    assert payload["cache"]["entries"] == 4
+    assert payload["cache"]["size_bytes"] > 0
+    assert payload["quarantine"] == []
+    assert len(payload["recent"]) == 4
+    assert all(r["status"] == "ok" for r in payload["recent"])

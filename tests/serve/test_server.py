@@ -1,0 +1,300 @@
+"""End-to-end tests for the ``repro-serve`` HTTP/JSON daemon.
+
+Each module-scoped service binds port 0 on localhost and is exercised
+through :mod:`urllib` — the same client path the CI smoke uses.  The
+acceptance contract: cached queries answer instantly with records
+bit-identical to ``repro-campaign run``, cold queries come back as job
+handles that complete through the shared JobScheduler.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignEngine, RunSpec
+from repro.serve import ServeService
+
+pytestmark = pytest.mark.serve
+
+SPEC = {"app": "pingpong", "network": "ib", "nodes": 2,
+        "app_args": {"size": 1024}}
+
+CAMPAIGN = {
+    "name": "serve-test",
+    "base": {"app": "pingpong", "nodes": 2},
+    "grid": {"network": ["ib", "elan"], "app_args.size": [0, 1024]},
+}
+
+
+def http(method, url, body=None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        raw = resp.read()
+        kind = resp.headers.get("Content-Type", "")
+        if kind.startswith("application/json"):
+            return resp.status, json.loads(raw)
+        return resp.status, raw
+
+
+def http_error(method, url, body=None):
+    try:
+        http(method, url, body)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+    raise AssertionError(f"{method} {url} unexpectedly succeeded")
+
+
+@pytest.fixture(scope="module")
+def warm_root(tmp_path_factory):
+    """A campaign root pre-populated by the batch engine."""
+    root = tmp_path_factory.mktemp("serve-root")
+    engine = CampaignEngine(root=root, workers=1, echo=None)
+    batch = engine.run_specs([RunSpec.from_dict(SPEC)])
+    assert batch.records[0]["status"] == "ok"
+    return root, batch.records[0]
+
+
+@pytest.fixture(scope="module")
+def service(warm_root):
+    root, _ = warm_root
+    svc = ServeService(root, workers=1, echo=None).start()
+    yield svc
+    svc.close()
+
+
+# -- cached path --------------------------------------------------------------
+
+
+def test_cached_query_matches_batch_record(service, warm_root):
+    _, batch_record = warm_root
+    status, body = http("POST", service.url + "/v1/runs", SPEC)
+    assert status == 200
+    assert body["source"] == "cache"
+    # Bit-identical to what repro-campaign run produced.
+    assert json.dumps(body["record"], sort_keys=True) == json.dumps(
+        batch_record, sort_keys=True
+    )
+
+
+def test_key_canonicalization_reaches_the_cache(service):
+    noisy = {"app_args": {"size": 1024.0}, "nodes": 2.0,
+             "network": "ib", "app": "pingpong"}
+    status, body = http("POST", service.url + "/v1/runs", noisy)
+    assert status == 200 and body["source"] == "cache"
+
+
+def test_record_fetch_by_key(service, warm_root):
+    _, batch_record = warm_root
+    status, body = http(
+        "GET", service.url + f"/v1/runs/{batch_record['key']}"
+    )
+    assert status == 200
+    assert body["record"]["label"] == batch_record["label"]
+
+
+# -- cold path ----------------------------------------------------------------
+
+
+def test_cold_query_completes_via_job_handle(service):
+    spec = dict(SPEC, app_args={"size": 4096})
+    status, body = http("POST", service.url + "/v1/runs", spec)
+    assert status == 202
+    assert body["source"] == "scheduled"
+    job_id = body["job"]["id"]
+    deadline = time.time() + 60  # repro-lint: disable=RPR001
+    while True:
+        status, body = http("GET", service.url + f"/v1/jobs/{job_id}")
+        assert status == 200
+        if body["job"]["state"] in ("done", "quarantined"):
+            break
+        assert time.time() < deadline  # repro-lint: disable=RPR001
+    assert body["job"]["state"] == "done"
+    assert body["job"]["record"]["status"] == "ok"
+    # Now it's a cache hit, and the record matches the job's.
+    status, hit = http("POST", service.url + "/v1/runs", spec)
+    assert status == 200 and hit["source"] == "cache"
+    assert hit["record"] == body["job"]["record"]
+
+
+def test_wait_s_blocks_until_done(service):
+    spec = dict(SPEC, app_args={"size": 2048})
+    status, body = http(
+        "POST", service.url + "/v1/runs", {"spec": spec, "wait_s": 60}
+    )
+    assert status == 200
+    assert body["job"]["state"] == "done"
+
+
+def test_coalescing_identical_inflight_specs(service):
+    spec = dict(SPEC, app_args={"size": 8192})
+    scheduler = service.state.scheduler
+    held, scheduler._dispatch = scheduler._dispatch, lambda job: None
+    try:
+        _, first = http("POST", service.url + "/v1/runs", spec)
+        _, second = http("POST", service.url + "/v1/runs", spec)
+    finally:
+        scheduler._dispatch = held
+    assert first["source"] == "scheduled"
+    assert second["source"] == "coalesced"
+    assert second["job"]["id"] == first["job"]["id"]
+    scheduler.start()  # release the held backlog
+    scheduler.wait(timeout_s=60)
+    _, done = http("GET", service.url + "/v1/jobs/" + first["job"]["id"])
+    assert done["job"]["state"] == "done"
+
+
+def test_events_stream_is_jsonl_to_terminal(service):
+    spec = dict(SPEC, app_args={"size": 16384})
+    _, body = http(
+        "POST", service.url + "/v1/runs", {"spec": spec, "wait_s": 60}
+    )
+    job_id = body["job"]["id"]
+    status, raw = http("GET", service.url + f"/v1/jobs/{job_id}/events")
+    assert status == 200
+    events = [json.loads(line) for line in raw.decode().splitlines()]
+    assert [e["event"] for e in events] == ["submitted", "dispatched", "done"]
+    assert all(e["id"] == job_id for e in events)
+    assert [e["seq"] for e in events] == [0, 1, 2]
+
+
+# -- campaigns ----------------------------------------------------------------
+
+
+def test_campaign_expansion_and_values(service):
+    status, body = http(
+        "POST",
+        service.url + "/v1/campaigns",
+        {"spec": CAMPAIGN, "wait_s": 120},
+    )
+    assert status == 200
+    campaign = body["campaign"]
+    assert campaign["total"] == 4
+    assert campaign["state"] == "done"
+    assert campaign["hits"] >= 1  # size=1024/ib was pre-warmed
+    assert len(campaign["values"]) == 4
+    assert all(isinstance(v, float) for v in campaign["values"])
+    # The handle stays queryable afterwards.
+    status, again = http(
+        "GET", service.url + f"/v1/campaigns/{campaign['id']}?records=1"
+    )
+    assert status == 200
+    assert again["campaign"]["values"] == campaign["values"]
+
+
+# -- explain ------------------------------------------------------------------
+
+
+def test_explain_conflict_then_renders_after_lifecycle_rerun(service):
+    spec = dict(SPEC, app_args={"size": 256})
+    _, body = http(
+        "POST", service.url + "/v1/runs", {"spec": spec, "wait_s": 60}
+    )
+    key = body["key"]
+    code, err = http_error("GET", service.url + f"/v1/runs/{key}/explain")
+    assert code == 409 and "lifecycle" in err["error"]
+    _, body = http(
+        "POST",
+        service.url + "/v1/runs",
+        {"spec": spec, "lifecycle": True, "force": True, "wait_s": 60},
+    )
+    status, html = http("GET", service.url + f"/v1/runs/{key}/explain")
+    assert status == 200
+    page = html.decode()
+    assert "<html" in page.lower()
+    assert "blame" in page.lower()
+
+
+# -- status + metrics ---------------------------------------------------------
+
+
+def test_status_embeds_campaign_status_payload(service, warm_root):
+    from repro.campaign.cli import status_payload
+
+    root, _ = warm_root
+    status, body = http("GET", service.url + "/v1/status")
+    assert status == 200
+    assert body["service"]["workers"] == 1
+    assert body["scheduler"]["stats"]["submitted"] >= 1
+    # GET /v1/status reuses the repro-campaign status --json payload.
+    expected = status_payload(root)
+    assert body["campaign_root"]["journal"] == expected["journal"]
+    assert body["campaign_root"]["cache"] == expected["cache"]
+
+
+def test_metrics_expose_request_and_cache_counters(service):
+    status, metrics = http("GET", service.url + "/v1/metrics")
+    assert status == 200
+    assert metrics["serve.requests"] >= 1
+    assert metrics["serve.cache.hits"] >= 1
+    assert metrics["serve.cache.misses"] >= 1
+    assert metrics["serve.cache.coalesced"] >= 1
+    assert metrics["serve.http.runs.post.requests"] >= 1
+    assert metrics["serve.http.runs.post.latency_us.count"] >= 1
+    assert metrics["serve.http.responses.2xx"] >= 1
+
+
+# -- error handling -----------------------------------------------------------
+
+
+def test_unknown_paths_and_ids_404(service):
+    assert http_error("GET", service.url + "/nope")[0] == 404
+    assert http_error("GET", service.url + "/v1/jobs/j999999")[0] == 404
+    assert http_error("GET", service.url + "/v1/campaigns/c999")[0] == 404
+    missing = "0" * 32
+    assert http_error("GET", service.url + f"/v1/runs/{missing}")[0] == 404
+
+
+def test_malformed_key_is_rejected(service):
+    code, err = http_error("GET", service.url + "/v1/runs/not-a-key")
+    assert code == 400 and "malformed" in err["error"]
+
+
+def test_bad_bodies_are_400(service):
+    code, _ = http_error("POST", service.url + "/v1/runs",
+                         {"app": "pingpong", "network": "ib", "nodes": 0})
+    assert code == 400
+    code, _ = http_error("POST", service.url + "/v1/runs",
+                         {"network": "ib", "nodes": 2})
+    assert code == 400
+    req = urllib.request.Request(
+        service.url + "/v1/runs", data=b"{not json", method="POST"
+    )
+    try:
+        urllib.request.urlopen(req, timeout=30)
+        raise AssertionError("bad JSON accepted")
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400
+
+
+# -- restart resume -----------------------------------------------------------
+
+
+def test_daemon_restart_resumes_pending_jobs(tmp_path):
+    first = ServeService(tmp_path, workers=1, echo=None).start()
+    try:
+        scheduler = first.state.scheduler
+        scheduler._dispatch = lambda job: None  # daemon "dies" mid-flight
+        status, body = http(
+            "POST", first.url + "/v1/runs",
+            dict(SPEC, app_args={"size": 32}),
+        )
+        assert status == 202
+    finally:
+        first.close()
+
+    second = ServeService(tmp_path, workers=1, echo=None).start()
+    try:
+        assert second.state.scheduler.stats["resumed"] == 1
+        second.state.scheduler.wait(timeout_s=60)
+        status, body = http("POST", second.url + "/v1/runs",
+                            dict(SPEC, app_args={"size": 32}))
+        assert status == 200 and body["source"] == "cache"
+    finally:
+        second.close()
