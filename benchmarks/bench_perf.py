@@ -1,99 +1,36 @@
 """Simulator throughput (events/sec) across fabric topologies.
 
 Not a paper figure — a performance acceptance pass for the topology
-subsystem.  Bounces a message between the two most distant ranks of a
-64-rank crossbar and a 256-rank three-level fat tree and reports kernel
-throughput, so a per-hop routing regression (extra allocations, slow
-route construction) shows up as an events/sec drop rather than hiding
-inside wall-clock noise.  Results land in ``BENCH_topology.json`` at the
-repo root; CI uploads the file as an artifact for trend tracking.
+and failover subsystems.  Since the perf-ladder refactor both tests
+are thin wrappers over :mod:`repro.perf.ladder`: the same rungs the
+``repro-perf`` CLI runs, reduced to the historical
+``BENCH_topology.json`` / ``BENCH_chaos.json`` projections.  One code
+path feeds the CLI's unified ``BENCH_perf.json`` and these trend
+files; CI uploads them as artifacts for trajectory tracking.
 """
 
 import json
-import time
 from pathlib import Path
-from typing import Any, Generator, Optional
 
-from repro import FaultPlan, Machine
-from repro.campaign import default_kill_link
-from repro.mpi import MpiRank
-from repro.topology import TopologySpec
+from repro.perf import chaos_rows, ladder_cases, run_case, topology_rows
+from repro.perf.ladder import CHAOS_CASES, FLOOR_EVENTS_PER_SEC, TOPOLOGY_CASES
 
-SIZE = 8192
 _ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = _ROOT / "BENCH_topology.json"
 CHAOS_RESULT_PATH = _ROOT / "BENCH_chaos.json"
 
-#: The benchmarked fabrics: (label, node count, topology spec).
-CASES = [
-    ("crossbar-64", 64, TopologySpec()),
-    ("fattree-256", 256, TopologySpec(kind="fattree", radix=16)),
-]
 
-
-def far_pingpong(size: int, repetitions: int):
-    """Ping-pong between rank 0 and the last rank (the longest route)."""
-
-    def program(mpi: MpiRank) -> Generator[Any, Any, Optional[float]]:
-        last = mpi.size - 1
-        if mpi.rank not in (0, last):
-            return None
-        peer = last if mpi.rank == 0 else 0
-        sbuf, rbuf = ("fp-send", mpi.rank), ("fp-recv", mpi.rank)
-        t0 = mpi.now
-        for _ in range(repetitions):
-            if mpi.rank == 0:
-                yield from mpi.send(dest=peer, size=size, buf=sbuf)
-                yield from mpi.recv(source=peer, size=size, buf=rbuf)
-            else:
-                yield from mpi.recv(source=peer, size=size, buf=rbuf)
-                yield from mpi.send(dest=peer, size=size, buf=sbuf)
-        if mpi.rank == 0:
-            return (mpi.now - t0) / (2.0 * repetitions)
-        return None
-
-    return program
-
-
-def _measure(
-    label: str,
-    nodes: int,
-    topo: TopologySpec,
-    reps: int,
-    network: str = "elan",
-    plan: Optional[FaultPlan] = None,
-) -> dict:
-    machine = Machine(network, nodes, seed=0, topology=topo, faults=plan)
-    wall0 = time.perf_counter()  # repro-lint: disable=RPR001
-    result = machine.run(far_pingpong(SIZE, reps), check_invariants=True)
-    wall = time.perf_counter() - wall0  # repro-lint: disable=RPR001
-    events = machine.sim.events_processed
-    stats = machine.sim.faults.stats() if plan is not None else {}
-    return {
-        "case": label,
-        "topology": topo.describe(),
-        "nodes": nodes,
-        "repetitions": reps,
-        "latency_us": result.values[0],
-        "elapsed_us": result.elapsed_us,
-        "window_start_us": max(s for s, _ in result.rank_spans),
-        "failovers": int(stats.get("failovers", 0)),
-        "events": events,
-        "wall_s": round(wall, 4),
-        "events_per_sec": round(events / wall) if wall > 0 else 0,
-    }
+def _run(names, quick: bool):
+    return [
+        run_case(case, quick=quick, profile=True)
+        for case in ladder_cases(names)
+    ]
 
 
 def test_topology_events_per_sec(benchmark, quick):
-    reps = 50 if quick else 400
-
-    def sweep():
-        return [
-            _measure(label, nodes, topo, reps)
-            for label, nodes, topo in CASES
-        ]
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: _run(TOPOLOGY_CASES, quick), rounds=1, iterations=1
+    )
 
     print()
     print(f"{'case':>12} {'latency':>12} {'events':>10} {'events/sec':>12}")
@@ -112,53 +49,19 @@ def test_topology_events_per_sec(benchmark, quick):
     )
     # Throughput floor: catch an order-of-magnitude kernel regression
     # without flaking on machine noise.
-    assert all(row["events_per_sec"] > 1_000 for row in rows)
+    assert all(
+        row["events_per_sec"] > FLOOR_EVENTS_PER_SEC for row in rows
+    )
 
-    RESULT_PATH.write_text(json.dumps(rows, indent=2) + "\n")
+    RESULT_PATH.write_text(json.dumps(topology_rows(rows), indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
 
 
-def _measure_degraded(nodes: int, topo: TopologySpec, reps: int) -> dict:
-    """Pristine vs degraded IB runs on the same fat tree, one ISL dead.
-
-    The degraded run exercises the full hard-failure path — liveness
-    checks on every wire stage, timeout, retransmit, APM migration —
-    so this case floors the *failover* machinery's throughput, not just
-    healthy routing.
-    """
-    dead = default_kill_link(nodes, {"kind": topo.kind, "radix": topo.radix})
-    pristine = _measure("pristine", nodes, topo, reps, network="ib")
-    start = pristine["window_start_us"]
-    kill = round(start + 0.5 * pristine["elapsed_us"], 3)
-    plan = FaultPlan(link_down=dead, link_down_at_us=kill)
-    degraded = _measure("degraded", nodes, topo, reps, network="ib", plan=plan)
-    assert degraded["failovers"] >= 1, "kill missed the measured window"
-    return {
-        "case": f"degraded-fattree-{nodes}",
-        "topology": topo.describe(),
-        "nodes": nodes,
-        "repetitions": reps,
-        "dead_link": dead,
-        "kill_at_us": kill,
-        "pristine_latency_us": pristine["latency_us"],
-        "degraded_latency_us": degraded["latency_us"],
-        "bw_ratio": round(
-            pristine["elapsed_us"] / degraded["elapsed_us"], 6
-        ),
-        "failovers": degraded["failovers"],
-        "events": degraded["events"],
-        "wall_s": degraded["wall_s"],
-        "events_per_sec": degraded["events_per_sec"],
-    }
-
-
 def test_degraded_fabric_events_per_sec(benchmark, quick):
-    reps = 30 if quick else 150
-    topo = TopologySpec(kind="fattree", radix=8)
-
-    row = benchmark.pedantic(
-        lambda: _measure_degraded(64, topo, reps), rounds=1, iterations=1
+    rows = benchmark.pedantic(
+        lambda: _run(CHAOS_CASES, quick), rounds=1, iterations=1
     )
+    row = rows[0]
 
     print()
     print(
@@ -168,8 +71,9 @@ def test_degraded_fabric_events_per_sec(benchmark, quick):
     )
     # Degraded mode must still be a simulation, not a crawl: same
     # order-of-magnitude throughput floor as the healthy fabrics.
-    assert row["events_per_sec"] > 1_000
+    assert row["events_per_sec"] > FLOOR_EVENTS_PER_SEC
     assert 0.0 < row["bw_ratio"] < 1.0
+    assert row["failovers"] >= 1
 
-    CHAOS_RESULT_PATH.write_text(json.dumps([row], indent=2) + "\n")
+    CHAOS_RESULT_PATH.write_text(json.dumps(chaos_rows(rows), indent=2) + "\n")
     print(f"wrote {CHAOS_RESULT_PATH}")

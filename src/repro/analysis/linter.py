@@ -119,7 +119,7 @@ def lint_source(source: str, path: str) -> List[Finding]:
                 text="",
             )
         ]
-    raw = run_rules(tree)
+    raw = run_rules(tree, path=path)
     if not raw:
         return []
     suppressed = parse_suppressions(source)

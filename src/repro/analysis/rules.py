@@ -27,6 +27,10 @@ RPR011      blocking call (``time.sleep``, ``execute_run``,
             ``engine.run``/``run_specs``) inside an HTTP request
             handler class; serve handlers must answer from cache or
             hand back a job id, never run simulations inline
+RPR012      ``time.perf_counter``/``time.monotonic`` inside
+            ``repro.sim``, ``repro.networks`` or ``repro.mpi``:
+            wall-clock reads on the kernel hot path belong to the
+            ``repro.perf`` profiler seam (path-scoped rule)
 ==========  ==========================================================
 
 Rules are deliberately narrow: each pattern flagged is one a reviewer
@@ -91,6 +95,11 @@ RULES: Dict[str, str] = {
         "inside an HTTP request handler class; serve handlers answer "
         "from cache or schedule onto the JobScheduler, never inline"
     ),
+    "RPR012": (
+        "time.perf_counter/time.monotonic inside repro.sim, "
+        "repro.networks or repro.mpi; wall-clock reads on the kernel "
+        "hot path belong to the repro.perf profiler seam"
+    ),
 }
 
 
@@ -118,6 +127,22 @@ _WALL_CLOCK_CALLS = {
     ("datetime", "today"),
     ("date", "today"),
 }
+
+#: Monotonic-clock reads guarded by the path-scoped RPR012: inside the
+#: kernel packages these belong to the ``repro.perf`` profiler seam.
+_HOT_CLOCK_NAMES = {
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+}
+
+#: Path fragments (posix) that put a module in RPR012 scope.
+_KERNEL_PATH_PARTS = ("repro/sim/", "repro/networks/", "repro/mpi/")
+
+
+def kernel_scoped(path: str) -> bool:
+    """Whether ``path`` is inside the RPR012 kernel scope."""
+    norm = str(path).replace("\\", "/")
+    return any(part in norm for part in _KERNEL_PATH_PARTS)
+
 
 #: Functions of the stdlib ``random`` module (module-level API); any
 #: attribute call on a name bound to ``import random`` is unseeded RNG.
@@ -298,8 +323,10 @@ def _scan_function(fn: ast.AST) -> _FunctionInfo:
 class RuleVisitor(ast.NodeVisitor):
     """One pass over a module AST, collecting findings for every rule."""
 
-    def __init__(self) -> None:
+    def __init__(self, path: str = "") -> None:
         self.findings: List[RawFinding] = []
+        #: Whether this module lives in the RPR012 kernel scope.
+        self._kernel_scope = kernel_scoped(path)
         #: Names bound to the stdlib ``random``/``time`` modules and to
         #: numpy / numpy.random, tracked from import statements.
         self._random_aliases: Set[str] = set()
@@ -310,6 +337,9 @@ class RuleVisitor(ast.NodeVisitor):
         #: Functions imported directly (``from random import choice``).
         self._random_funcs: Set[str] = set()
         self._wall_funcs: Set[str] = set()
+        #: Bound names of ``from time import perf_counter`` style
+        #: imports of the RPR012-guarded monotonic clocks.
+        self._hot_clock_funcs: Set[str] = set()
         #: ``from time import sleep`` style bindings (RPR011).
         self._sleep_funcs: Set[str] = set()
         #: Stack of _FunctionInfo for enclosing functions.
@@ -324,6 +354,15 @@ class RuleVisitor(ast.NodeVisitor):
     def _emit(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(
             (node.lineno, node.col_offset, rule, message)
+        )
+
+    def _emit_hot_clock(self, node: ast.AST, call: str) -> None:
+        self._emit(
+            node,
+            "RPR012",
+            f"monotonic clock read {call}() inside the kernel packages; "
+            "hot-path wall-clock reads belong to the repro.perf profiler "
+            "seam",
         )
 
     def _fn(self) -> _FunctionInfo:
@@ -356,6 +395,8 @@ class RuleVisitor(ast.NodeVisitor):
                 name = alias.name
                 if ("time", name) in _WALL_CLOCK_CALLS:
                     self._wall_funcs.add(alias.asname or name)
+                    if name in _HOT_CLOCK_NAMES:
+                        self._hot_clock_funcs.add(alias.asname or name)
                 elif name == "sleep":
                     self._sleep_funcs.add(alias.asname or name)
         elif node.module == "datetime":
@@ -538,6 +579,8 @@ class RuleVisitor(ast.NodeVisitor):
                     f"wall-clock read {func.id}(); simulated time must "
                     "come from sim.now",
                 )
+                if self._kernel_scope and func.id in self._hot_clock_funcs:
+                    self._emit_hot_clock(node, func.id)
             return
         path = _dotted(func)
         if len(path) < 2:
@@ -571,6 +614,8 @@ class RuleVisitor(ast.NodeVisitor):
                 f"wall-clock read {'.'.join(path)}(); simulated time "
                 "must come from sim.now",
             )
+            if self._kernel_scope and tail in _HOT_CLOCK_NAMES:
+                self._emit_hot_clock(node, ".".join(path))
             return
         if tail in _NP_RANDOM_ATTRS:
             if (
@@ -772,8 +817,13 @@ class RuleVisitor(ast.NodeVisitor):
         return False
 
 
-def run_rules(tree: ast.Module) -> List[RawFinding]:
-    """All raw findings for one parsed module, in source order."""
-    visitor = RuleVisitor()
+def run_rules(tree: ast.Module, path: str = "") -> List[RawFinding]:
+    """All raw findings for one parsed module, in source order.
+
+    ``path`` is the module's file path; it only matters for the
+    path-scoped RPR012 (kernel packages) and may be left empty for
+    snippets with no file identity.
+    """
+    visitor = RuleVisitor(path)
     visitor.visit(tree)
     return sorted(visitor.findings)

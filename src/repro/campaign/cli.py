@@ -28,6 +28,7 @@ from .cache import ResultCache
 from .chaos import ChaosStudy
 from .engine import DEFAULT_ROOT, CampaignEngine
 from .journal import Journal
+from .scheduler import scheduler_status
 from .spec import CampaignSpec
 
 
@@ -133,6 +134,10 @@ def status_payload(root, tail: int = 5) -> dict:
             "entries": cache.count(),
             "size_bytes": cache.size_bytes(),
         },
+        # Async-scheduler view of the same root: per-state job counts
+        # and timing summaries folded from jobs.jsonl (empty-shaped when
+        # the root has only ever seen batch runs).
+        "scheduler": scheduler_status(root),
         "quarantine": quarantined,
         "recent": recent,
     }
@@ -151,6 +156,18 @@ def render_status(payload: dict) -> str:
         f"cache: {payload['cache']['entries']} entries, "
         f"{payload['cache']['size_bytes'] / 1024.0:.1f} KiB",
     ]
+    sched = payload.get("scheduler") or {}
+    jobs = sched.get("jobs") or {}
+    if sum(count for _, count in sorted(jobs.items())):
+        by_state = ", ".join(
+            f"{count} {state}" for state, count in sorted(jobs.items()) if count
+        )
+        lines.append(
+            f"scheduler: {by_state}; "
+            f"cache-hit ratio {sched['cache_hit_ratio']:.2f}, "
+            f"mean queue delay {sched['queue_delay_s']['mean'] * 1e3:.1f} ms, "
+            f"mean job wall {sched['job_wall_s']['mean']:.2f}s"
+        )
     if payload["quarantine"]:
         lines.append(
             f"quarantine: {len(payload['quarantine'])} specs failed all retries"

@@ -47,6 +47,7 @@ def execute_run(
     timeout_s: Optional[float] = None,
     max_events: Optional[int] = None,
     lifecycle: bool = False,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Run one spec on a fresh machine; always returns a journal record.
 
@@ -58,6 +59,11 @@ def execute_run(
     collects message spans and occupancy series, folding them into the
     record as a ``blame`` table and a resampled ``series`` block — both
     deterministic, so cached and fresh records stay byte-identical.
+    ``profile`` attaches a :class:`~repro.perf.KernelProfiler` and adds
+    its compact summary as a ``perf`` block; the summary carries host
+    wall times, so profiled records are *not* byte-stable across runs —
+    which is why the flag is off by default and never set by the batch
+    engine (the result cache must stay content-pure).
     """
     # Host wall time, not simulated time (see ``wall_s`` below).
     t0 = time.perf_counter()  # repro-lint: disable=RPR001
@@ -69,6 +75,11 @@ def execute_run(
     }
     tracer = Tracer(enabled=True) if trace else None
     machine: Optional[Machine] = None
+    profiler = None
+    if profile:
+        from ..perf import KernelProfiler
+
+        profiler = KernelProfiler()
     try:
         machine = Machine(
             spec.network,
@@ -80,6 +91,7 @@ def execute_run(
             ib_progress_thread=spec.ib_progress_thread,
             trace=tracer,
             faults=spec.fault_plan,
+            profiler=profiler,
             # Metrics are deterministic, cheap and picklable; every
             # campaign record carries them (timeline stays off — spans
             # are bulky and reconstructable by re-running with tracing).
@@ -122,6 +134,8 @@ def execute_run(
         record["sim_end_us"] = machine.sim.now
     if machine is not None and machine.sim.faults is not None:
         record["fault_stats"] = machine.sim.faults.stats()
+    if profiler is not None:
+        record["perf"] = profiler.summary()
     record["wall_s"] = time.perf_counter() - t0  # repro-lint: disable=RPR001
     if tracer is not None:
         record["trace_summary"] = tracer.summary()

@@ -193,6 +193,65 @@ class JobStore:
             self.path.unlink(missing_ok=True)
 
 
+def _hist_summary(values: List[float]) -> Dict[str, float]:
+    """count/mean/max summary matching the metric histogram export."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "mean": round(sum(values) / len(values), 6),
+        "max": round(max(values), 6),
+    }
+
+
+def scheduler_status(root) -> Dict[str, Any]:
+    """The ``scheduler`` status block, folded from durable state.
+
+    Works without a live scheduler: replays the campaign root's
+    ``jobs.jsonl`` transitions for per-state job counts and queue-delay
+    / wall-time summaries, and the journal for the cache-hit ratio
+    (``reused`` lines over all lines).  ``repro-campaign status --json``
+    and the serve daemon's ``/v1/status`` both embed this (the daemon's
+    live metric histograms carry the same numbers for its own lifetime).
+    """
+    store = JobStore(Path(root) / "jobs.jsonl")
+    state_of: Dict[str, str] = {}
+    prev_t: Dict[str, float] = {}
+    first_t: Dict[str, float] = {}
+    delays: List[float] = []
+    walls: List[float] = []
+    turnarounds: List[float] = []
+    for line in store.load():
+        job_id = line["id"]
+        state_of[job_id] = line.get("state", PENDING)
+        t = line.get("t")
+        if not isinstance(t, (int, float)):
+            continue
+        first_t.setdefault(job_id, t)
+        if line.get("event") == "dispatched" and job_id in prev_t:
+            delays.append(max(0.0, t - prev_t[job_id]))
+        if line.get("state") in TERMINAL_STATES:
+            record = line.get("record")
+            if isinstance(record, dict) and "wall_s" in record:
+                walls.append(float(record["wall_s"]))
+            turnarounds.append(max(0.0, t - first_t[job_id]))
+        prev_t[job_id] = t
+    counts = {PENDING: 0, RUNNING: 0, DONE: 0, QUARANTINED: 0}
+    for state in state_of.values():
+        counts[state] = counts.get(state, 0) + 1
+    entries = list(Journal(Path(root) / "journal.jsonl").entries())
+    reused = sum(1 for r in entries if r.get("reused"))
+    return {
+        "jobs": counts,
+        "cache_hit_ratio": (
+            round(reused / len(entries), 4) if entries else 0.0
+        ),
+        "queue_delay_s": _hist_summary(delays),
+        "job_wall_s": _hist_summary(walls),
+        "turnaround_s": _hist_summary(turnarounds),
+    }
+
+
 class JobScheduler:
     """Cache-aware async executor of RunSpecs with durable job state.
 
@@ -219,6 +278,8 @@ class JobScheduler:
         echo: Optional[Callable[[str], None]] = None,
         journal_reused: bool = True,
         memory_cache: int = 0,
+        metrics: Optional[Any] = None,
+        profile: bool = False,
     ) -> None:
         if timeout_s is not None and timeout_s <= 0:
             raise ConfigurationError("timeout_s must be positive")
@@ -248,6 +309,15 @@ class JobScheduler:
         #: In-memory LRU capacity over cache records (0 disables).
         self.memory_cache = memory_cache
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: Optional :class:`~repro.telemetry.registry.MetricsRegistry`;
+        #: when present the scheduler feeds per-job timing histograms
+        #: (``scheduler.jobs.queue_delay_s``, ``scheduler.jobs.wall_s``)
+        #: — the serve daemon passes its own registry here.
+        self.metrics = metrics
+        #: Attach a kernel profiler to every executed run (adds a
+        #: ``perf`` summary to records; see :func:`~.runner.execute_run`
+        #: for why this must stay off for cache-pure batch runs).
+        self.profile = profile
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -480,6 +550,13 @@ class JobScheduler:
                 return
             job.state = RUNNING
             self._event(job, "dispatched")
+            if self.metrics is not None and len(job.events) >= 2:
+                # Queue delay: from the preceding transition (submitted,
+                # or retry_scheduled on a retry) to this dispatch.
+                delay = job.events[-1]["t"] - job.events[-2]["t"]
+                self.metrics.histogram(
+                    "scheduler.jobs.queue_delay_s"
+                ).observe(max(0.0, delay))
             executor = self._executor_or_none()
             if executor is not None:
                 try:
@@ -490,6 +567,7 @@ class JobScheduler:
                         timeout_s=self.timeout_s,
                         max_events=self.max_events,
                         lifecycle=job.lifecycle,
+                        profile=self.profile,
                     )
                 except Exception as exc:  # pool already broken
                     self._pool_failed(exc)
@@ -528,6 +606,7 @@ class JobScheduler:
                 timeout_s=self.timeout_s,
                 max_events=self.max_events,
                 lifecycle=job.lifecycle,
+                profile=self.profile,
             )
             self._complete(job_id, record)
 
@@ -624,6 +703,14 @@ class JobScheduler:
             error=record.get("error"),
             record=record,
         )
+        if self.metrics is not None:
+            self.metrics.histogram("scheduler.jobs.wall_s").observe(
+                float(record.get("wall_s", 0.0))
+            )
+            turnaround = job.events[-1]["t"] - job.events[0]["t"]
+            self.metrics.histogram("scheduler.jobs.turnaround_s").observe(
+                max(0.0, turnaround)
+            )
 
     # -- queries and synchronization -----------------------------------------
 

@@ -79,6 +79,7 @@ class Machine:
         faults: Optional[FaultPlan] = None,
         telemetry: Optional[Telemetry] = None,
         sanitizer: bool = False,
+        profiler: Optional[Any] = None,
     ) -> None:
         if network not in NETWORKS:
             raise ConfigurationError(
@@ -103,7 +104,7 @@ class Machine:
             self.sanitizer = RaceSanitizer()
         self.sim = Simulator(
             seed=seed, trace=trace, telemetry=telemetry,
-            sanitizer=self.sanitizer,
+            sanitizer=self.sanitizer, profiler=profiler,
         )
         self.node_spec = node_spec
         self.ib_params = ib_params

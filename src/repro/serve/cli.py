@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect blame/series on every cold run (enables /explain)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the kernel profiler to every cold run; records gain "
+        "a perf summary and /v1/perf reports per-job kernel profiles",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true", help="bypass the result cache"
     )
     parser.add_argument(
@@ -100,6 +106,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             retry_backoff_s=args.retry_backoff_s,
             lifecycle=args.lifecycle,
             memory_cache=args.memory_cache,
+            profile=args.profile,
             echo=echo,
         )
     except (ReproError, OSError) as exc:

@@ -22,6 +22,9 @@ API (all JSON unless noted)::
     GET  /v1/runs/<key>          cached record by content key
     GET  /v1/runs/<key>/explain  self-contained HTML blame report
     GET  /v1/status              service + scheduler + campaign-root status
+    GET  /v1/perf                job timing histograms + per-job kernel
+                                 profiles (run with --profile for the
+                                 per-event attribution summaries)
     GET  /v1/metrics             the serve MetricsRegistry, flat JSON
 
 Every request lands in the service's own
@@ -137,12 +140,23 @@ class ServeState:
         retry_backoff_s: float = 0.25,
         lifecycle: bool = False,
         memory_cache: int = 4096,
+        profile: bool = False,
         echo=None,
     ) -> None:
         from ..telemetry.registry import MetricsRegistry
 
         self.root = root
         self.echo = echo
+        self.metrics = MetricsRegistry()
+        #: Job-timing histograms fetched once so the per-request status
+        #: and perf paths never touch the registry lock.
+        self._timing_hists = tuple(
+            (name, self.metrics.histogram(f"scheduler.jobs.{name}"))
+            for name in ("queue_delay_s", "wall_s", "turnaround_s")
+        )
+        #: Kernel-profile every executed job (adds ``perf`` blocks to
+        #: records and powers ``/v1/perf``'s per-job kernel summaries).
+        self.profile = profile
         self.scheduler = JobScheduler.at(
             root,
             workers=workers,
@@ -156,11 +170,14 @@ class ServeState:
             # A hot query loop must not append a journal line per hit.
             journal_reused=False,
             memory_cache=memory_cache,
+            # Job timing spans land in the serve registry as
+            # scheduler.jobs.* histograms (queue delay, wall, turnaround).
+            metrics=self.metrics,
+            profile=profile,
         )
         #: The batch engine's resume tier, loaded once: completed journal
         #: lines answer queries even when the disk cache was disabled.
         self.journaled = self.scheduler.journal.completed()
-        self.metrics = MetricsRegistry()
         self.campaigns: Dict[str, CampaignHandle] = {}
         self._campaign_lock = threading.Lock()
         self._next_campaign = 1
@@ -198,6 +215,17 @@ class ServeState:
             record = self.journaled.get(key)
         return record
 
+    def _job_timing(self) -> Dict[str, Any]:
+        """Lifetime job-timing histograms (fed by the scheduler)."""
+        out = {}
+        for name, hist in self._timing_hists:
+            out[name] = {
+                "count": hist.count,
+                "mean": round(hist.mean, 6),
+                "max": round(hist.max, 6),
+            }
+        return out
+
     def status(self) -> Dict[str, Any]:
         return {
             "service": {
@@ -207,12 +235,55 @@ class ServeState:
                 ),
                 "workers": self.scheduler.workers,
                 "campaigns": len(self.campaigns),
+                "profile": self.profile,
             },
             "scheduler": {
                 "stats": dict(self.scheduler.stats),
                 "jobs": self.scheduler.counts(),
+                "timing": self._job_timing(),
             },
+            # Embeds the durable "scheduler" block (jobs.jsonl fold) —
+            # the same shape ``repro-campaign status --json`` reports.
             "campaign_root": status_payload(self.root),
+        }
+
+    def perf(self) -> Dict[str, Any]:
+        """The ``/v1/perf`` payload: service timing + per-job kernels.
+
+        One entry per terminal job, newest last: the record's wall
+        time, simulated event count and events/sec, plus the compact
+        kernel-profile summary when the job ran with profiling on.
+        """
+        jobs: List[Dict[str, Any]] = []
+        for job in self.scheduler.jobs():
+            if not job.done or job.record is None:
+                continue
+            record = job.record
+            wall = float(record.get("wall_s", 0.0))
+            events = (record.get("metrics") or {}).get("sim.events")
+            entry: Dict[str, Any] = {
+                "id": job.id,
+                "label": job.label,
+                "state": job.state,
+                "status": record.get("status"),
+                "wall_s": round(wall, 6),
+            }
+            if isinstance(events, (int, float)):
+                entry["events"] = events
+                entry["events_per_sec"] = (
+                    round(events / wall) if wall > 0 else 0
+                )
+            if "perf" in record:
+                entry["perf"] = record["perf"]
+            jobs.append(entry)
+        return {
+            "profile": self.profile,
+            "scheduler": {
+                "stats": dict(self.scheduler.stats),
+                "jobs": self.scheduler.counts(),
+                "timing": self._job_timing(),
+            },
+            "jobs": jobs,
         }
 
 
@@ -365,6 +436,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             return "explain.get", self._get_explain(parts[2])
         if parts == ["v1", "status"]:
             return "status.get", self._send_json(200, self.state.status())
+        if parts == ["v1", "perf"]:
+            return "perf.get", self._send_json(200, self.state.perf())
         if parts == ["v1", "metrics"]:
             return "metrics.get", self._send_json(
                 200, self.state.metrics.as_dict()

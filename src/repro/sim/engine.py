@@ -53,6 +53,7 @@ class Simulator:
         trace: Optional[Tracer] = None,
         telemetry: Optional[Telemetry] = None,
         sanitizer: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
@@ -92,6 +93,14 @@ class Simulator:
         #: sanitizer only *observes* pops, so enabling it never changes
         #: simulated results.
         self.sanitizer: Optional[Any] = sanitizer
+        #: Opt-in kernel self-profiler
+        #: (:class:`~repro.perf.KernelProfiler`).  ``None`` — the
+        #: default — costs one identity check per event.  The profiler
+        #: only reads the wall clock around ``_fire()``, so attaching
+        #: one never changes simulated results; all clock reads live in
+        #: :mod:`repro.perf.profiler` (lint rule RPR012 keeps them out
+        #: of the kernel).
+        self.profiler: Optional[Any] = profiler
 
     # -- clock ------------------------------------------------------------
 
@@ -105,6 +114,8 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        if self.profiler is not None:
+            self.profiler.heap_pushes += 1
 
     def _process_crashed(self, proc: Process, exc: BaseException) -> None:
         self._crashed.append((proc, exc))
@@ -198,10 +209,13 @@ class Simulator:
         self._running = True
         budget = max_events
         wall_deadline = (  # watchdog measures real time, not sim time
-            time.perf_counter() + wall_limit_s  # repro-lint: disable=RPR001
+            time.perf_counter() + wall_limit_s  # repro-lint: disable=RPR001,RPR012
             if wall_limit_s is not None
             else None
         )
+        prof = self.profiler
+        if prof is not None:
+            prof.enter_run()
         try:
             while self._heap:
                 if self._crashed:
@@ -222,7 +236,7 @@ class Simulator:
                 if (
                     wall_deadline is not None
                     and self.events_processed % _WALL_CHECK_INTERVAL == 0
-                    and time.perf_counter() > wall_deadline  # repro-lint: disable=RPR001
+                    and time.perf_counter() > wall_deadline  # repro-lint: disable=RPR001,RPR012
                 ):
                     raise WatchdogError(
                         f"wall-clock limit of {wall_limit_s}s exceeded",
@@ -239,7 +253,12 @@ class Simulator:
                 self.events_processed += 1
                 if self.sanitizer is not None:
                     self.sanitizer.observe(t, _seq, event)
-                event._fire()
+                if prof is not None:
+                    t0 = prof.begin(event)
+                    event._fire()
+                    prof.end(event, t0)
+                else:
+                    event._fire()
             else:
                 if self._crashed:
                     proc, exc = self._crashed[0]
@@ -250,6 +269,8 @@ class Simulator:
                     self._now = until
         finally:
             self._running = False
+            if prof is not None:
+                prof.exit_run()
         return self._now
 
     def run_all(

@@ -707,3 +707,70 @@ class TestRPR011:
                     return subprocess.run(["git", "rev-parse", "HEAD"])
             """
         )
+
+
+# -- RPR012: kernel-path wall clocks belong to the profiler seam -------------
+
+
+def kernel_rules_of(snippet, path="src/repro/sim/probe.py"):
+    import textwrap
+
+    return [f.rule for f in lint_source(textwrap.dedent(snippet), path)]
+
+
+class TestRPR012:
+    SNIPPET = """
+        import time
+
+        def measure():
+            return time.perf_counter()
+        """
+
+    def test_perf_counter_in_sim_fires(self):
+        assert "RPR012" in kernel_rules_of(self.SNIPPET)
+
+    def test_fires_in_networks_and_mpi_too(self):
+        for path in (
+            "src/repro/networks/probe.py",
+            "src/repro/mpi/probe.py",
+        ):
+            assert "RPR012" in kernel_rules_of(self.SNIPPET, path), path
+
+    def test_direct_import_monotonic_fires(self):
+        assert "RPR012" in kernel_rules_of(
+            """
+            from time import monotonic as mono
+
+            def measure():
+                return mono()
+            """
+        )
+
+    def test_outside_kernel_paths_is_rpr001_only(self):
+        rules = kernel_rules_of(self.SNIPPET, path="src/repro/perf/probe.py")
+        assert "RPR012" not in rules
+        assert "RPR001" in rules  # still a wall-clock read
+
+    def test_time_time_is_not_a_hot_clock(self):
+        rules = kernel_rules_of(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert "RPR001" in rules and "RPR012" not in rules
+
+    def test_suppression_silences_both(self):
+        assert (
+            kernel_rules_of(
+                """
+                import time
+
+                def measure():
+                    return time.perf_counter()  # repro-lint: disable=RPR001,RPR012
+                """
+            )
+            == []
+        )

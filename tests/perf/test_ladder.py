@@ -1,0 +1,170 @@
+"""The perf ladder: rung execution, row shape, legacy projections."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    LADDER,
+    chaos_rows,
+    ladder_cases,
+    run_case,
+    topology_rows,
+    write_results,
+)
+from repro.perf.ladder import (
+    CHAOS_CASES,
+    TOPOLOGY_CASES,
+    _CHAOS_KEYS,
+    _TOPOLOGY_KEYS,
+)
+
+pytestmark = pytest.mark.perf
+
+#: Keys every ladder row carries regardless of workload family.
+_BASE_KEYS = {
+    "case",
+    "app",
+    "network",
+    "nodes",
+    "topology",
+    "quick",
+    "events",
+    "wall_s",
+    "events_per_sec",
+}
+
+
+@pytest.fixture(scope="module")
+def crossbar_row():
+    """One real quick rung, shared across the shape tests."""
+    (case,) = ladder_cases(["crossbar-64"])
+    return run_case(case, quick=True, profile=True)
+
+
+def test_ladder_case_names_are_unique_and_stable():
+    names = [case.name for case in LADDER]
+    assert len(names) == len(set(names))
+    # The diff gate and the legacy projections join on these labels.
+    assert set(TOPOLOGY_CASES) <= set(names)
+    assert set(CHAOS_CASES) <= set(names)
+    assert len(names) >= 5
+
+
+def test_ladder_cases_rejects_unknown_names():
+    with pytest.raises(KeyError, match="unknown ladder case"):
+        ladder_cases(["crossbar-64", "nope"])
+
+
+def test_run_case_row_shape(crossbar_row):
+    row = crossbar_row
+    assert _BASE_KEYS <= set(row)
+    assert row["case"] == "crossbar-64"
+    assert row["quick"] is True
+    assert row["events"] > 0 and row["events_per_sec"] > 0
+    assert row["latency_us"] > 0
+    # Profiled rung embeds the compact kernel summary.
+    assert row["perf"]["events"] == row["events"]
+    assert row["perf"]["top_event_types"]
+
+
+def test_run_case_without_profile_skips_perf_block():
+    (case,) = ladder_cases(["crossbar-64"])
+    row = run_case(case, quick=True, profile=False)
+    assert "perf" not in row
+    assert row["events"] > 0 and row["events_per_sec"] > 0
+
+
+def test_sample_mode_writes_flamegraph_and_chrome(tmp_path, crossbar_row):
+    (case,) = ladder_cases(["crossbar-64"])
+    row = run_case(
+        case,
+        quick=True,
+        sample=True,
+        sample_interval_ms=1.0,
+        flamegraph_dir=tmp_path / "fg",
+        chrome_dir=tmp_path / "ct",
+    )
+    assert row["samples"] >= 0
+    collapsed = tmp_path / "fg" / "crossbar-64.collapsed"
+    assert collapsed.exists()
+    trace = tmp_path / "ct" / "crossbar-64.kernel.trace.json"
+    doc = json.loads(trace.read_text())
+    assert doc["otherData"]["kind"] == "kernel-profile"
+
+
+# -- emission (synthetic rows: projection logic, not simulation) --------------
+
+
+def _fake_row(name, **extra):
+    row = {
+        "case": name,
+        "app": "pingpong",
+        "network": "elan",
+        "nodes": 64,
+        "topology": "TopologySpec()",
+        "quick": True,
+        "events": 1000,
+        "wall_s": 0.5,
+        "events_per_sec": 2000,
+        "repetitions": 50,
+        "latency_us": 10.0,
+        "elapsed_us": 100.0,
+        "window_start_us": 1.0,
+        "failovers": 0,
+        "perf": {"events": 1000},
+    }
+    row.update(extra)
+    return row
+
+
+def _fake_ladder():
+    return [
+        _fake_row("crossbar-64"),
+        _fake_row("fattree-256", topology="TopologySpec(kind=fattree, radix=16)"),
+        _fake_row("torus-64"),
+        _fake_row(
+            "degraded-fattree-64",
+            dead_link="isl0",
+            kill_at_us=50.0,
+            pristine_latency_us=9.0,
+            degraded_latency_us=11.0,
+            bw_ratio=0.9,
+            failovers=1,
+            pristine_wall_s=0.4,
+        ),
+    ]
+
+
+def test_projections_keep_historical_shapes():
+    rows = _fake_ladder()
+    topo = topology_rows(rows)
+    assert [r["case"] for r in topo] == list(TOPOLOGY_CASES)
+    assert all(tuple(r) == _TOPOLOGY_KEYS for r in topo)
+    chaos = chaos_rows(rows)
+    assert [r["case"] for r in chaos] == list(CHAOS_CASES)
+    assert all(tuple(r) == _CHAOS_KEYS for r in chaos)
+    # The perf block never leaks into the legacy files.
+    assert all("perf" not in r for r in topo + chaos)
+
+
+def test_write_results_emits_unified_and_legacy_files(tmp_path):
+    rows = _fake_ladder()
+    out = tmp_path / "BENCH_perf.json"
+    doc = write_results(rows, out, legacy_root=tmp_path)
+    assert json.loads(out.read_text()) == doc
+    assert doc["schema"] == "repro.perf/1"
+    assert doc["quick"] is True
+    assert doc["cases"] == rows
+    topo = json.loads((tmp_path / "BENCH_topology.json").read_text())
+    assert [r["case"] for r in topo] == list(TOPOLOGY_CASES)
+    chaos = json.loads((tmp_path / "BENCH_chaos.json").read_text())
+    assert [r["case"] for r in chaos] == list(CHAOS_CASES)
+
+
+def test_write_results_without_legacy_root(tmp_path):
+    out = tmp_path / "sub" / "BENCH_perf.json"
+    write_results([_fake_row("crossbar-64")], out)
+    assert out.exists()
+    assert not (tmp_path / "BENCH_topology.json").exists()
+    assert not (tmp_path / "sub" / "BENCH_topology.json").exists()

@@ -1,0 +1,66 @@
+"""StackSampler: collapsed-stack capture and export format."""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.perf import StackSampler
+from repro.perf.sampling import fold_frame
+
+pytestmark = pytest.mark.perf
+
+#: flamegraph.pl input: semicolon-joined frames, space, decimal count.
+_COLLAPSED_LINE = re.compile(r"^\S.* \d+$")
+
+
+def _busy(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(200))
+
+
+def test_sampler_captures_collapsed_stacks(tmp_path):
+    stop = threading.Event()
+    worker = threading.Thread(target=_busy, args=(stop,), daemon=True)
+    worker.start()
+    sampler = StackSampler(interval_ms=1.0, thread_id=worker.ident)
+    sampler.start()
+    time.sleep(0.25)
+    sampler.stop()
+    stop.set()
+    worker.join(timeout=2.0)
+
+    assert sampler.total_samples > 0
+    lines = sampler.collapsed()
+    assert lines and all(_COLLAPSED_LINE.match(line) for line in lines)
+    assert sum(sampler.samples.values()) + sampler.dropped == (
+        sampler.total_samples
+    )
+
+    out = sampler.write_collapsed(tmp_path / "test.collapsed")
+    assert out.read_text().splitlines() == lines
+
+
+def test_sampler_stop_is_idempotent():
+    sampler = StackSampler(interval_ms=1.0)
+    sampler.start()
+    sampler.stop()
+    sampler.stop()
+    assert sampler._thread is None
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        StackSampler(interval_ms=0)
+
+
+def test_fold_frame_merges_adjacent_foreign_frames():
+    import sys
+
+    frame = sys._getframe()
+    stack = fold_frame(frame)
+    parts = stack.split(";")
+    # This test module is outside repro, so the leaf collapses to its
+    # top-level module; adjacent duplicates must have merged.
+    assert all(a != b for a, b in zip(parts, parts[1:]))
