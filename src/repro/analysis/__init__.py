@@ -13,6 +13,11 @@ at three layers:
   mutable default arguments, non-``Event`` yields in sim processes,
   unpicklable campaign spec values, telemetry allocation on the
   disabled path, swallowed simulation errors).
+* :mod:`~repro.analysis.flow` — the ``repro-audit`` whole-program
+  dataflow analyzer: a symbol table + call graph over the entire tree
+  feeding three interprocedural passes — units checking (RPR020/021),
+  hot-path allocation gating (RPR022) and RNG provenance (RPR023) —
+  catching the cross-module hazards the per-file linter cannot see.
 * :mod:`~repro.analysis.sanitizer` — an opt-in runtime sanitizer that
   flags same-timestamp event pairs touching one resource without a
   deterministic tiebreak key: the sim-level analogue of a data race.
@@ -28,12 +33,16 @@ clean — and CI fails on any *new* finding, so a stray
 
 from ..errors import InvariantViolation
 from .baseline import Baseline
+from .flow import AUDIT_RULES, audit_paths, audit_rule_ids
 from .invariants import Violation, check_invariants, verify_invariants
 from .linter import Finding, lint_files, lint_paths
 from .rules import RULES, rule_ids
 from .sanitizer import RaceFinding, RaceSanitizer
 
 __all__ = [
+    "AUDIT_RULES",
+    "audit_paths",
+    "audit_rule_ids",
     "Baseline",
     "Finding",
     "InvariantViolation",

@@ -1,0 +1,170 @@
+"""Call graph over a :class:`~repro.analysis.flow.symbols.SymbolTable`.
+
+Edges are resolved statically and conservatively:
+
+* direct calls to module-level functions (local or imported);
+* constructor calls (``ResourceRequest(...)``) resolve to the class;
+* ``self.method(...)`` calls resolve through the enclosing class and
+  its statically known base classes;
+* ``super().method(...)`` resolves onto the first base that defines it;
+* module-alias attribute calls (``np.random.default_rng``) resolve to a
+  fully qualified external name.
+
+Anything else (attribute calls on arbitrary receivers, calls through
+callbacks) stays unresolved — the passes that consume the graph treat
+unresolved edges as opaque rather than guessing.
+
+Each call site carries a *cold* flag: ``True`` when the call sits
+inside a ``raise`` statement.  Error paths construct messages and
+rosters freely; the hot-path allocation pass neither traverses nor
+flags them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .symbols import FunctionSymbol, SymbolTable
+
+
+def dotted_path(node: ast.AST) -> List[str]:
+    """Flatten ``a.b.c`` into ``["a", "b", "c"]`` (empty when dynamic)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+@dataclass
+class CallSite:
+    """One call expression inside one function."""
+
+    caller: str                 #: qualified name of the calling function
+    callee: Optional[str]       #: resolved qualified name, or ``None``
+    node: ast.Call
+    cold: bool                  #: inside a ``raise`` statement
+
+
+def cold_nodes(fn_node: ast.AST) -> Set[int]:
+    """ids of every AST node living inside a ``raise`` statement."""
+    cold: Set[int] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Raise):
+            for sub in ast.walk(node):
+                cold.add(id(sub))
+    return cold
+
+
+class CallGraph:
+    """Forward and reverse call edges for every function in the table."""
+
+    def __init__(self, symtab: SymbolTable) -> None:
+        self.symtab = symtab
+        self.calls_in: Dict[str, List[CallSite]] = {}
+        self.callers_of: Dict[str, List[CallSite]] = {}
+        for qname, sym in symtab.sorted_functions():
+            sites = self._collect(qname, sym)
+            self.calls_in[qname] = sites
+            for site in sites:
+                if site.callee is not None:
+                    self.callers_of.setdefault(site.callee, []).append(site)
+
+    # -- construction ------------------------------------------------------
+
+    def _collect(self, qname: str, sym: FunctionSymbol) -> List[CallSite]:
+        cold = cold_nodes(sym.node)
+        sites: List[CallSite] = []
+        for node in ast.walk(sym.node):
+            if isinstance(node, ast.Call):
+                sites.append(
+                    CallSite(
+                        caller=qname,
+                        callee=self.resolve_call(sym, node),
+                        node=node,
+                        cold=id(node) in cold,
+                    )
+                )
+        sites.sort(key=lambda s: (s.node.lineno, s.node.col_offset))
+        return sites
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve_call(
+        self, sym: FunctionSymbol, node: ast.Call
+    ) -> Optional[str]:
+        """Qualified name of the called function/class, if resolvable."""
+        mod = self.symtab.modules.get(sym.module)
+        if mod is None:
+            return None
+        func = node.func
+        # super().method(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+            and sym.cls is not None
+        ):
+            cls_sym = mod.classes.get(sym.cls)
+            if cls_sym is not None:
+                for base in cls_sym.bases:
+                    head = base.split(".")[0]
+                    base_q = None
+                    if head in mod.classes:
+                        base_q = mod.classes[head].qname
+                    else:
+                        target = mod.imports.get(head)
+                        if target is not None:
+                            fq = ".".join([target] + base.split(".")[1:])
+                            if fq in self.symtab.classes:
+                                base_q = fq
+                    if base_q:
+                        resolved = self.symtab.method_on(base_q, func.attr)
+                        if resolved:
+                            return resolved
+            return None
+        dotted = dotted_path(func)
+        if not dotted:
+            return None
+        if dotted[0] == "self" and sym.cls is not None:
+            if len(dotted) == 2:
+                cls_sym = mod.classes.get(sym.cls)
+                if cls_sym is not None:
+                    return self.symtab.method_on(cls_sym.qname, dotted[1])
+            return None
+        return self.symtab.resolve_call_name(mod, dotted)
+
+    # -- traversal ---------------------------------------------------------
+
+    def reachable_from(
+        self, roots: List[str], follow_cold: bool = False
+    ) -> List[str]:
+        """Functions reachable from ``roots`` along resolved warm edges.
+
+        Only edges into functions present in the symbol table are
+        followed (external names terminate the walk); constructor edges
+        (callee is a class) are *not* expanded — object construction is
+        a deliberate act the passes report on separately.
+        """
+        seen: Set[str] = set()
+        queue = [q for q in roots if q in self.symtab.functions]
+        while queue:
+            qname = queue.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            for site in self.calls_in.get(qname, ()):
+                if site.cold and not follow_cold:
+                    continue
+                callee = site.callee
+                if callee and callee in self.symtab.functions:
+                    if callee not in seen:
+                        queue.append(callee)
+        return sorted(seen)

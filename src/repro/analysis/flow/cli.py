@@ -1,15 +1,15 @@
-"""``repro-lint`` — determinism linter for the repro simulator tree.
+"""``repro-audit`` — whole-program dataflow audit CLI.
 
 Usage::
 
-    repro-lint src benchmarks --baseline .repro-lint-baseline.json
-    repro-lint src/repro --format json
-    repro-lint --list-rules
-    repro-lint src --baseline b.json --update-baseline
+    repro-audit src --baseline .repro-audit-baseline.json
+    repro-audit src/repro --format json
+    repro-audit list-rules
+    repro-audit src --baseline b.json --update-baseline
 
-Exit status: 0 when no **new** findings (relative to the baseline, or
-to an empty baseline when none is given); 1 when new findings exist;
-2 on usage errors.
+Exit status mirrors ``repro-lint``: 0 when no **new** findings
+(relative to the baseline, or to an empty baseline when none is given);
+1 when new findings exist; 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -19,24 +19,25 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .baseline import Baseline
-from .linter import lint_paths
-from .reporters import render_json, render_rules, render_text
+from ..baseline import Baseline
+from ..reporters import render_json, render_rules, render_text
+from . import AUDIT_RULES, audit_paths
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-lint",
+        prog="repro-audit",
         description=(
-            "AST linter enforcing the simulator's determinism contract "
-            "(rules RPR001-RPR008)."
+            "Whole-program dataflow audit: units checking, hot-path "
+            "allocation gating and RNG provenance (rules "
+            "RPR020-RPR023)."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         type=Path,
-        help="files or directories to lint (directories are walked "
+        help="files or directories to audit (directories are walked "
         "for *.py), or the literal 'list-rules'",
     )
     parser.add_argument(
@@ -77,7 +78,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules or [str(p) for p in args.paths] == ["list-rules"]:
-        print(render_rules())
+        print(render_rules(AUDIT_RULES))
         return 0
     if not args.paths:
         parser.error("no paths given (or use list-rules)")
@@ -90,12 +91,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "no such path: " + ", ".join(str(p) for p in missing)
         )
 
-    findings = lint_paths(args.paths)
+    findings = audit_paths(args.paths)
 
     if args.update_baseline:
         Baseline.from_findings(findings).save(args.baseline)
         print(
-            f"repro-lint: wrote {len(findings)} entries to "
+            f"repro-audit: wrote {len(findings)} entries to "
             f"{args.baseline}"
         )
         return 0
@@ -106,7 +107,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.format == "json":
         print(render_json(diff))
     else:
-        print(render_text(diff, show_known=args.show_known))
+        print(render_text(diff, show_known=args.show_known, tool="repro-audit"))
     return 0 if diff.ok else 1
 
 

@@ -1,0 +1,496 @@
+"""Interprocedural units (dimension) checking — rules RPR020/RPR021.
+
+The whole simulator speaks one unit convention (:mod:`repro.units`):
+time in microseconds, data in bytes, bandwidth in B/us (== MB/s), cost
+in dollars, plus host wall-clock *seconds* in the campaign/perf layers.
+That convention lives in names: ``elapsed_us``, ``wall_s``,
+``size_bytes``, ``bw``.  This pass turns the convention into a checked
+type system:
+
+* **Dimension sources** — name suffixes (``_us``, ``_s``, ``_ms``,
+  ``_bytes``, ``_usd``, ``_bw``/``bw``), the well-known kernel clock
+  ``.now`` (always sim-time us), the :mod:`repro.units` conversion
+  helpers (``us_from_s`` *returns* us and *takes* seconds, ...), and
+  string-literal parameter annotations (``def f(t: "us")``).
+* **Propagation** — through local assignments (in statement order),
+  ``+``/``-`` with dimensionless operands, scaling by numeric literals,
+  the bandwidth algebra (bytes/us -> B/us, B/us * us -> bytes,
+  bytes / (B/us) -> us), and function returns via a whole-program
+  fixpoint over the call graph.
+* **Checks** — ``+``/``-``/ordered comparison between two *known,
+  different* dimensions (RPR020), and call arguments whose inferred
+  dimension contradicts the callee parameter's (RPR021).
+
+Unknown dimensions never flag: the pass is silent until it can prove a
+mismatch, which is what lets the real tree stay clean without
+annotation churn.  :mod:`repro.units` itself is the conversion seam and
+is excluded — inside it, mixing dimensions is the job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..rules import RawFinding
+from .callgraph import CallGraph, dotted_path
+from .symbols import FunctionSymbol, SymbolTable
+
+# -- the dimension lattice ---------------------------------------------------
+
+US = "time-us"
+S = "time-s"
+MS = "time-ms"
+BYTES = "bytes"
+BW = "B/us"
+USD = "dollars"
+#: ``None`` plays "unknown/dimensionless": adapts to anything.
+
+DIMENSIONS = (US, S, MS, BYTES, BW, USD)
+
+#: Name-suffix -> dimension.  Longest suffix wins (``_bytes`` before
+#: ``_s``); checked against the last ``_``-separated component so
+#:``wall_limit_s`` is seconds but ``bws`` is nothing.
+_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_bytes", BYTES),
+    ("_usd", USD),
+    ("_dollars", USD),
+    ("_us", US),
+    ("_ms", MS),
+    ("_bw", BW),
+    ("_s", S),
+)
+
+#: Bare names with a fixed dimension wherever they appear.
+_WELL_KNOWN = {
+    "now": US,          # Simulator.now — the simulation clock
+    "bw": BW,
+    "bandwidth": BW,
+}
+
+#: String-literal annotations accepted on parameters: ``def f(t: "us")``.
+_ANNOTATION_DIMS = {
+    "us": US, "time-us": US,
+    "s": S, "time-s": S,
+    "ms": MS, "time-ms": MS,
+    "bytes": BYTES,
+    "b_per_us": BW, "b/us": BW, "mb/s": BW,
+    "usd": USD, "dollars": USD,
+    "any": None, "none": None,
+}
+
+#: The repro.units conversion helpers: bare name -> (return dim,
+#: positional parameter dims).  These override name-suffix inference
+#: (``us_from_s`` *returns* us) and give the pass its trusted
+#: conversion edges.
+UNITS_HELPERS: Dict[str, Tuple[Optional[str], Tuple[Optional[str], ...]]] = {
+    "us_from_s": (US, (S,)),
+    "s_from_us": (S, (US,)),
+    "us_from_ms": (US, (MS,)),
+    "mb_per_s": (BW, (BYTES, US)),
+    "fmt_time_us": (None, (US,)),
+    "fmt_bytes": (None, (BYTES,)),
+}
+
+#: Builtins that return their first argument's dimension unchanged.
+_DIM_PRESERVING = {"min", "max", "abs", "round", "float", "int"}
+
+#: Modules excluded from the pass: the conversion seam itself.
+_EXCLUDED_MODULE_TAILS = ("units",)
+
+
+def suffix_dim(name: str) -> Optional[str]:
+    """Dimension implied by a name, or ``None``."""
+    if not name:
+        return None
+    if name in _WELL_KNOWN:
+        return _WELL_KNOWN[name]
+    for suffix, dim in _SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return dim
+    return None
+
+
+def annotation_dim(text: str) -> Optional[str]:
+    return _ANNOTATION_DIMS.get(text.strip().lower())
+
+
+def param_dim(sym: FunctionSymbol, param: str) -> Optional[str]:
+    """Declared/inferred dimension of one parameter."""
+    ann = sym.param_annotations.get(param)
+    if ann is not None:
+        return annotation_dim(ann)
+    return suffix_dim(param)
+
+
+def _declared_return_dim(sym: FunctionSymbol) -> Optional[str]:
+    """Return dimension fixed by the function's own name, if any."""
+    if sym.name in UNITS_HELPERS:
+        return UNITS_HELPERS[sym.name][0]
+    return suffix_dim(sym.name)
+
+
+class _FunctionDims:
+    """Dimension evaluation over one function body."""
+
+    def __init__(
+        self,
+        sym: FunctionSymbol,
+        graph: CallGraph,
+        returns: Dict[str, Optional[str]],
+        emit: Optional[List[RawFinding]] = None,
+    ) -> None:
+        self.sym = sym
+        self.graph = graph
+        self.returns = returns
+        self.emit = emit
+        self.env: Dict[str, Optional[str]] = {}
+        for p in sym.params:
+            d = param_dim(sym, p)
+            if d is not None:
+                self.env[p] = d
+        #: Dimensions of every value returned by this body.
+        self.return_dims: List[Optional[str]] = []
+
+    # -- reporting ---------------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        if self.emit is not None:
+            self.emit.append(
+                (node.lineno, node.col_offset, rule, message)
+            )
+
+    # -- statement walk ----------------------------------------------------
+
+    def run(self) -> None:
+        body = getattr(self.sym.node, "body", [])
+        self._block(body)
+
+    def _block(self, stmts) -> None:
+        for st in stmts:
+            self._stmt(st)
+
+    def _stmt(self, st: ast.AST) -> None:
+        if isinstance(st, ast.Assign):
+            d = self.dim(st.value)
+            for target in st.targets:
+                self._bind(target, d)
+        elif isinstance(st, ast.AnnAssign):
+            d = self.dim(st.value) if st.value is not None else None
+            self._bind(st.target, d)
+        elif isinstance(st, ast.AugAssign):
+            self._aug(st)
+        elif isinstance(st, (ast.Expr, ast.Return)):
+            d = self.dim(st.value) if st.value is not None else None
+            if isinstance(st, ast.Return):
+                self.return_dims.append(d)
+        elif isinstance(st, (ast.If, ast.While)):
+            self.dim(st.test)
+            self._block(st.body)
+            self._block(st.orelse)
+        elif isinstance(st, ast.For):
+            self.dim(st.iter)
+            self._bind(st.target, None)
+            self._block(st.body)
+            self._block(st.orelse)
+        elif isinstance(st, ast.Try):
+            self._block(st.body)
+            for handler in st.handlers:
+                self._block(handler.body)
+            self._block(st.orelse)
+            self._block(st.finalbody)
+        elif isinstance(st, ast.With):
+            for item in st.items:
+                self.dim(item.context_expr)
+            self._block(st.body)
+        elif isinstance(st, ast.Raise):
+            if st.exc is not None:
+                self.dim(st.exc)
+        elif isinstance(st, ast.Assert):
+            self.dim(st.test)
+            if st.msg is not None:
+                self.dim(st.msg)
+        elif isinstance(st, ast.Delete):
+            for t in st.targets:
+                self.dim(t)
+        # Nested defs/classes keep their own unit scope; pass/import/etc
+        # carry no expressions worth walking.
+
+    def _bind(self, target: ast.AST, dim: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            implied = suffix_dim(target.id)
+            if implied is not None and dim is not None and implied != dim:
+                self._flag(
+                    target,
+                    "RPR020",
+                    f"assignment binds a {dim} value to {target.id!r}, "
+                    f"whose name claims {implied}",
+                )
+            self.env[target.id] = implied or dim
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None)
+        # Attribute/subscript targets: name suffixes cover reads.
+
+    def _aug(self, st: ast.AugAssign) -> None:
+        value_dim = self.dim(st.value)
+        target_dim = None
+        if isinstance(st.target, ast.Name):
+            target_dim = self.env.get(st.target.id) or suffix_dim(st.target.id)
+        elif isinstance(st.target, ast.Attribute):
+            target_dim = suffix_dim(st.target.attr)
+        if (
+            isinstance(st.op, (ast.Add, ast.Sub))
+            and target_dim is not None
+            and value_dim is not None
+            and target_dim != value_dim
+        ):
+            self._flag(
+                st,
+                "RPR020",
+                f"augmented {'+=' if isinstance(st.op, ast.Add) else '-='} "
+                f"mixes {target_dim} and {value_dim}",
+            )
+
+    # -- expression dimensions ---------------------------------------------
+
+    def dim(self, node: Optional[ast.AST]) -> Optional[str]:
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id) or suffix_dim(node.id)
+        if isinstance(node, ast.Attribute):
+            self.dim(node.value)
+            return suffix_dim(node.attr)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.dim(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            self._compare(node)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self.dim(v)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            self.dim(node.test)
+            a, b = self.dim(node.body), self.dim(node.orelse)
+            return a if a == b else None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.dim(elt)
+            return None
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                self.dim(k)
+            for v in node.values:
+                self.dim(v)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                self.dim(gen.iter)
+            self.dim(node.elt)
+            return None
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                self.dim(gen.iter)
+            self.dim(node.key)
+            self.dim(node.value)
+            return None
+        if isinstance(node, ast.Subscript):
+            self.dim(node.value)
+            return None
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for sub in ast.iter_child_nodes(node):
+                self.dim(sub)
+            return None
+        if isinstance(node, (ast.Await, ast.YieldFrom, ast.Yield)):
+            if getattr(node, "value", None) is not None:
+                self.dim(node.value)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.dim(node.value)
+        if isinstance(node, ast.Lambda):
+            return None
+        return None
+
+    def _binop(self, node: ast.BinOp) -> Optional[str]:
+        left, right = self.dim(node.left), self.dim(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self._flag(
+                    node,
+                    "RPR020",
+                    f"mixed-dimension arithmetic: {left} {op} {right} "
+                    "(convert through repro.units first)",
+                )
+                return None
+            return left if left is not None else right
+        if isinstance(node.op, ast.Mult):
+            # Scaling by a numeric literal preserves the dimension.
+            if isinstance(node.left, ast.Constant) and right is not None:
+                return right
+            if isinstance(node.right, ast.Constant) and left is not None:
+                return left
+            if (left, right) in ((BW, US), (US, BW)):
+                return BYTES
+            return None
+        if isinstance(node.op, ast.Div):
+            if isinstance(node.right, ast.Constant) and left is not None:
+                return left
+            if left == BYTES and right == US:
+                return BW
+            if left == BYTES and right == BW:
+                return US
+            if left is not None and left == right:
+                return None  # a dimensionless ratio
+            return None
+        return None
+
+    def _compare(self, node: ast.Compare) -> None:
+        dims = [self.dim(node.left)] + [self.dim(c) for c in node.comparators]
+        for op, a, b in zip(node.ops, dims, dims[1:]):
+            if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                continue
+            if a is not None and b is not None and a != b:
+                self._flag(
+                    node,
+                    "RPR020",
+                    f"ordered comparison between {a} and {b} is "
+                    "dimensionally meaningless",
+                )
+
+    def _call(self, node: ast.Call) -> Optional[str]:
+        arg_dims = [self.dim(a) for a in node.args]
+        kw_dims = {
+            kw.arg: self.dim(kw.value) for kw in node.keywords if kw.arg
+        }
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.dim(kw.value)
+        func = node.func
+        callee = self.graph.resolve_call(self.sym, node)
+        callee_sym = (
+            self.graph.symtab.functions.get(callee) if callee else None
+        )
+        # repro.units conversion helpers, resolved or bare.
+        tail = None
+        if isinstance(func, ast.Name):
+            tail = func.id
+        elif isinstance(func, ast.Attribute):
+            tail = func.attr
+        helper = UNITS_HELPERS.get(tail or "")
+        if helper is not None and (
+            callee_sym is None or callee_sym.name in UNITS_HELPERS
+        ):
+            ret, params = helper
+            for i, (want, got) in enumerate(zip(params, arg_dims)):
+                if want is not None and got is not None and want != got:
+                    self._flag(
+                        node.args[i],
+                        "RPR021",
+                        f"argument {i + 1} of {tail}() expects {want}, "
+                        f"got {got}",
+                    )
+            return ret
+        if callee_sym is not None:
+            self._check_args(node, callee_sym, arg_dims, kw_dims)
+            ret = self.returns.get(callee_sym.qname)
+            if ret is not None:
+                return ret
+            return _declared_return_dim(callee_sym)
+        # Unresolved: the callee's own name can still imply a dimension
+        # (machine.elapsed_us(), span.wall_s()).
+        if tail in _DIM_PRESERVING and arg_dims:
+            return arg_dims[0]
+        if tail:
+            return suffix_dim(tail)
+        return None
+
+    def _check_args(
+        self,
+        node: ast.Call,
+        callee: FunctionSymbol,
+        arg_dims: List[Optional[str]],
+        kw_dims: Dict[str, Optional[str]],
+    ) -> None:
+        for i, got in enumerate(arg_dims):
+            if got is None:
+                continue
+            param = callee.param_for_arg(i)
+            if param is None:
+                continue
+            want = param_dim(callee, param)
+            if want is not None and want != got:
+                self._flag(
+                    node.args[i],
+                    "RPR021",
+                    f"argument {param!r} of {callee.qname}() expects "
+                    f"{want}, got {got}",
+                )
+        for name, got in sorted(kw_dims.items()):
+            if got is None or name not in callee.params:
+                continue
+            want = param_dim(callee, name)
+            if want is not None and want != got:
+                for kw in node.keywords:
+                    if kw.arg == name:
+                        self._flag(
+                            kw.value,
+                            "RPR021",
+                            f"argument {name!r} of {callee.qname}() "
+                            f"expects {want}, got {got}",
+                        )
+                        break
+
+
+def _excluded(sym: FunctionSymbol) -> bool:
+    tail = sym.module.rsplit(".", 1)[-1]
+    return tail in _EXCLUDED_MODULE_TAILS
+
+
+def infer_return_dims(
+    symtab: SymbolTable, graph: CallGraph, rounds: int = 4
+) -> Dict[str, Optional[str]]:
+    """Fixpoint over the call graph: qname -> return dimension."""
+    returns: Dict[str, Optional[str]] = {}
+    for qname, sym in symtab.sorted_functions():
+        returns[qname] = _declared_return_dim(sym)
+    for _ in range(rounds):
+        changed = False
+        for qname, sym in symtab.sorted_functions():
+            if returns[qname] is not None or _excluded(sym):
+                continue
+            walker = _FunctionDims(sym, graph, returns, emit=None)
+            walker.run()
+            dims = {d for d in walker.return_dims if d is not None}
+            if len(dims) == 1 and len(set(walker.return_dims)) == 1:
+                returns[qname] = dims.pop()
+                changed = True
+        if not changed:
+            break
+    return returns
+
+
+def check_dimensions(
+    symtab: SymbolTable, graph: CallGraph
+) -> Dict[str, List[RawFinding]]:
+    """Run the units pass; raw findings keyed by module path."""
+    returns = infer_return_dims(symtab, graph)
+    by_path: Dict[str, List[RawFinding]] = {}
+    for qname, sym in symtab.sorted_functions():
+        if _excluded(sym):
+            continue
+        found: List[RawFinding] = []
+        _FunctionDims(sym, graph, returns, emit=found).run()
+        if found:
+            by_path.setdefault(sym.path, []).extend(found)
+    for path in by_path:
+        by_path[path] = sorted(set(by_path[path]))
+    return by_path

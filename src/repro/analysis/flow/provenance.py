@@ -1,0 +1,302 @@
+"""RNG provenance analysis — rule RPR023.
+
+The determinism contract says every random draw comes from a *named
+seeded stream* (``sim.rng.stream("fault.ber...")``); the per-file
+linter's RPR001 catches ``random.random()`` only when the ambient
+module is visible in the same file.  This pass closes the
+interprocedural hole: it finds every draw-shaped call
+(``<recv>.random()``, ``.gamma()``, ``.integers()``, ...) and traces
+the receiver's provenance through
+
+* local assignments (``stream = self._stream(name)``),
+* ``self`` attributes (``self._rng = sim.rng.stream(...)`` anywhere in
+  the class),
+* function returns (``def _stream(self, name): return
+  self.sim.rng.stream(...)``), and
+* call arguments, via the reverse call graph (a helper drawing on a
+  parameter is judged by what every resolved caller passes).
+
+A draw is flagged when any path proves the receiver **ambient**: the
+stdlib ``random`` module, ``numpy.random``, or a generator minted
+outside :mod:`repro.sim.rng` (``default_rng()`` / ``Random()`` /
+``RandomState()``).  Unknown provenance never flags — the pass reports
+violations it can prove, so the clean tree needs no annotations.
+:mod:`repro.sim.rng` itself is the sanctioned minting seam and is
+excluded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..rules import RawFinding
+from .callgraph import CallGraph, CallSite, dotted_path
+from .symbols import FunctionSymbol, SymbolTable
+
+#: Methods that draw randomness when called on a generator-ish receiver.
+DRAW_METHODS = {
+    "random", "uniform", "normal", "gamma", "integers", "choice",
+    "shuffle", "permutation", "exponential", "poisson",
+    "standard_normal", "binomial", "lognormal", "triangular",
+    "randint", "randrange", "gauss", "expovariate", "betavariate",
+    "sample", "random_sample", "rand", "randn", "bytes",
+}
+
+#: Constructors that mint a generator outside the sanctioned seam.
+_AMBIENT_MINTS = {"default_rng", "Random", "RandomState", "SystemRandom"}
+
+#: Module names whose attribute draws are ambient by definition.
+_AMBIENT_MODULES = {"random", "numpy.random"}
+
+#: Modules excluded from the pass (the sanctioned minting seam).
+_EXCLUDED_MODULE_TAILS = ("rng",)
+
+SEEDED = "seeded"
+AMBIENT = "ambient"
+UNKNOWN = "unknown"
+
+#: Provenance verdict: (state, human-readable source description).
+Verdict = Tuple[str, str]
+
+_OK: Verdict = (SEEDED, "a named seeded stream")
+_DUNNO: Verdict = (UNKNOWN, "")
+
+
+class _Tracer:
+    """Interprocedural receiver tracing with memoization."""
+
+    def __init__(self, symtab: SymbolTable, graph: CallGraph) -> None:
+        self.symtab = symtab
+        self.graph = graph
+        self._return_memo: Dict[str, Verdict] = {}
+        self._param_memo: Dict[Tuple[str, str], Verdict] = {}
+        self._busy: set = set()
+
+    # -- module-alias helpers ---------------------------------------------
+
+    def _alias_target(self, sym: FunctionSymbol, name: str) -> Optional[str]:
+        mod = self.symtab.modules.get(sym.module)
+        return mod.imports.get(name) if mod else None
+
+    def _ambient_name(self, sym: FunctionSymbol, dotted: List[str]) -> bool:
+        """Whether a dotted chain names an ambient RNG module."""
+        if not dotted:
+            return False
+        target = self._alias_target(sym, dotted[0])
+        if target is None:
+            return False
+        fq = ".".join([target] + dotted[1:])
+        return fq in _AMBIENT_MODULES or target in _AMBIENT_MODULES
+
+    # -- expression provenance --------------------------------------------
+
+    def provenance(
+        self, expr: ast.AST, sym: FunctionSymbol, depth: int = 0
+    ) -> Verdict:
+        if depth > 8:
+            return _DUNNO
+        if isinstance(expr, ast.Call):
+            return self._call_provenance(expr, sym, depth)
+        if isinstance(expr, ast.Name):
+            return self._name_provenance(expr.id, sym, depth)
+        if isinstance(expr, ast.Attribute):
+            dotted = dotted_path(expr)
+            if self._ambient_name(sym, dotted):
+                return (AMBIENT, f"the ambient module {'.'.join(dotted)}")
+            if (
+                dotted
+                and dotted[0] == "self"
+                and len(dotted) == 2
+                and sym.cls is not None
+            ):
+                return self._self_attr_provenance(dotted[1], sym, depth)
+            return _DUNNO
+        return _DUNNO
+
+    def _call_provenance(
+        self, call: ast.Call, sym: FunctionSymbol, depth: int
+    ) -> Verdict:
+        func = call.func
+        tail = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        if tail == "stream":
+            return _OK
+        if tail in _AMBIENT_MINTS:
+            return (
+                AMBIENT,
+                f"a generator minted by {tail}() outside repro.sim.rng",
+            )
+        callee = self.graph.resolve_call(sym, call)
+        if callee and callee in self.symtab.functions:
+            return self._return_provenance(callee, depth + 1)
+        return _DUNNO
+
+    def _name_provenance(
+        self, name: str, sym: FunctionSymbol, depth: int
+    ) -> Verdict:
+        target = self._alias_target(sym, name)
+        if target in _AMBIENT_MODULES:
+            return (AMBIENT, f"the ambient module {target}")
+        if name in sym.params:
+            return self._param_provenance(sym, name, depth)
+        verdicts = [
+            self.provenance(value, sym, depth + 1)
+            for value in self._local_assignments(sym, name)
+        ]
+        return self._join(verdicts)
+
+    @staticmethod
+    def _local_assignments(sym: FunctionSymbol, name: str) -> List[ast.AST]:
+        values: List[ast.AST] = []
+        for node in ast.walk(sym.node):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name) and t.id == name:
+                        values.append(node.value)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == name
+                and node.value is not None
+            ):
+                values.append(node.value)
+        return values
+
+    def _self_attr_provenance(
+        self, attr: str, sym: FunctionSymbol, depth: int
+    ) -> Verdict:
+        mod = self.symtab.modules.get(sym.module)
+        cls_sym = mod.classes.get(sym.cls) if mod and sym.cls else None
+        if cls_sym is None or attr not in cls_sym.self_assigns:
+            return _DUNNO
+        verdicts = []
+        for value in cls_sym.self_assigns[attr]:
+            # Evaluate in the context of this module/class; the exact
+            # assigning method does not matter for the sources we trace.
+            verdicts.append(self.provenance(value, sym, depth + 1))
+        joined = self._join(verdicts)
+        if joined[0] == AMBIENT:
+            return (AMBIENT, f"self.{attr}, assigned from {joined[1]}")
+        return joined
+
+    def _param_provenance(
+        self, sym: FunctionSymbol, param: str, depth: int
+    ) -> Verdict:
+        key = (sym.qname, param)
+        if key in self._param_memo:
+            return self._param_memo[key]
+        if key in self._busy:
+            return _DUNNO
+        self._busy.add(key)
+        try:
+            verdicts = []
+            try:
+                index = sym.params.index(param)
+            except ValueError:
+                index = -1
+            for site in self.graph.callers_of.get(sym.qname, ()):
+                caller = self.symtab.functions.get(site.caller)
+                if caller is None:
+                    continue
+                arg = self._arg_for(site, index, param)
+                if arg is None:
+                    continue
+                verdict = self.provenance(arg, caller, depth + 1)
+                if verdict[0] == AMBIENT:
+                    verdict = (
+                        AMBIENT,
+                        f"{verdict[1]}, passed as {param!r} from "
+                        f"{site.caller}",
+                    )
+                verdicts.append(verdict)
+            result = self._join(verdicts)
+        finally:
+            self._busy.discard(key)
+        self._param_memo[key] = result
+        return result
+
+    @staticmethod
+    def _arg_for(
+        site: CallSite, index: int, param: str
+    ) -> Optional[ast.AST]:
+        for kw in site.node.keywords:
+            if kw.arg == param:
+                return kw.value
+        if 0 <= index < len(site.node.args):
+            return site.node.args[index]
+        return None
+
+    def _return_provenance(self, qname: str, depth: int) -> Verdict:
+        if qname in self._return_memo:
+            return self._return_memo[qname]
+        if qname in self._busy:
+            return _DUNNO
+        self._busy.add(qname)
+        try:
+            sym = self.symtab.functions[qname]
+            verdicts = []
+            for node in ast.walk(sym.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    verdicts.append(self.provenance(node.value, sym, depth))
+            result = self._join(verdicts)
+            if result[0] == AMBIENT:
+                result = (AMBIENT, f"{result[1]} (returned by {qname})")
+        finally:
+            self._busy.discard(qname)
+        self._return_memo[qname] = result
+        return result
+
+    @staticmethod
+    def _join(verdicts: List[Verdict]) -> Verdict:
+        """Any ambient path condemns; else seeded wins over unknown."""
+        for v in verdicts:
+            if v[0] == AMBIENT:
+                return v
+        for v in verdicts:
+            if v[0] == SEEDED:
+                return v
+        return _DUNNO
+
+
+def _excluded(sym: FunctionSymbol) -> bool:
+    return sym.module.rsplit(".", 1)[-1] in _EXCLUDED_MODULE_TAILS
+
+
+def check_provenance(
+    symtab: SymbolTable, graph: CallGraph
+) -> Dict[str, List[RawFinding]]:
+    """Run the provenance pass; raw findings keyed by module path."""
+    tracer = _Tracer(symtab, graph)
+    by_path: Dict[str, List[RawFinding]] = {}
+    for qname, sym in symtab.sorted_functions():
+        if _excluded(sym):
+            continue
+        for node in ast.walk(sym.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in DRAW_METHODS
+            ):
+                continue
+            state, source = tracer.provenance(node.func.value, sym, 0)
+            if state != AMBIENT:
+                continue
+            by_path.setdefault(sym.path, []).append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    "RPR023",
+                    f"random draw .{node.func.attr}() in {qname} traces "
+                    f"to {source}; draw from a named seeded stream "
+                    "(sim.rng.stream(name)) instead",
+                )
+            )
+    for path in by_path:
+        by_path[path] = sorted(set(by_path[path]))
+    return by_path

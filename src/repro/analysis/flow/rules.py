@@ -1,0 +1,59 @@
+"""The ``repro-audit`` rule catalogue (RPR020-series).
+
+The linter's rules (RPR001-RPR012) are per-file pattern checks; these
+are *whole-program dataflow* findings.  Each pass owns its ids:
+
+==========  ==========================================================
+RPR020      mixed-dimension arithmetic or comparison (``_us`` + ``_s``,
+            ``_bytes`` < ``_us``, ...): units are inferred from name
+            suffixes, :mod:`repro.units` helpers and string-literal
+            parameter annotations, then propagated through assignments,
+            calls and returns
+RPR021      argument whose inferred dimension contradicts the callee
+            parameter's declared/inferred dimension
+RPR022      per-event allocation (dict/list/set/tuple display,
+            comprehension, f-string, closure) on a kernel hot path —
+            the event loop, the resource grant paths, or a disabled
+            telemetry/perf singleton
+RPR023      random draw whose receiver does not provably come from a
+            named seeded stream (``rng.stream(...)`` / ``fault.*``);
+            traced interprocedurally through locals, ``self``
+            attributes, returns and call arguments
+==========  ==========================================================
+
+Suppress with ``# repro-audit: disable=RPRnnn`` (same grammar as
+``repro-lint`` directives, under the audit's own tag).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Rule id -> one-line description (``repro-audit list-rules``).
+AUDIT_RULES: Dict[str, str] = {
+    "RPR020": (
+        "mixed-dimension arithmetic/comparison: operands carry "
+        "different inferred units (time-us vs time-s, bytes vs time, "
+        "...), which silently corrupts every derived figure"
+    ),
+    "RPR021": (
+        "wrong-dimension argument: the value passed has an inferred "
+        "unit that contradicts the callee parameter's name suffix or "
+        "annotation"
+    ),
+    "RPR022": (
+        "per-event allocation (dict/list/set/tuple/comprehension/"
+        "f-string/closure) on a kernel hot path reachable from the "
+        "event loop, grant paths or disabled telemetry singletons"
+    ),
+    "RPR023": (
+        "random draw that does not provably reach a named seeded "
+        "stream (rng.stream(...)); ambient random/numpy.random "
+        "generators break same-seed reproducibility"
+    ),
+}
+
+
+def audit_rule_ids() -> List[str]:
+    """All audit rule ids, sorted."""
+    return sorted(AUDIT_RULES)

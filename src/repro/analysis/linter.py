@@ -2,8 +2,12 @@
 
 The linter parses each file once with :mod:`ast` (rules) and once with
 :mod:`tokenize` (suppression comments).  A finding is suppressed when
-its line carries ``# repro-lint: disable=RPRnnn[,RPRmmm...]`` or
-``# repro-lint: disable=all``.
+its line carries ``# repro-lint: disable=RPRnnn[, RPRmmm...]`` or
+``# repro-lint: disable=all``.  Rule lists may be separated by commas
+with or without spaces, and trailing prose after the list is ignored
+(``# repro-lint: disable=RPR003, RPR007 -- sanctioned heap entry``).
+The whole-program auditor (:mod:`repro.analysis.flow`) shares this
+machinery under its own ``# repro-audit: disable=...`` tag.
 
 Findings carry a content-based :attr:`Finding.fingerprint` so the
 committed baseline survives unrelated edits: it hashes the rule id, the
@@ -22,13 +26,17 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from .rules import RULES, run_rules
+from .rules import RULES, RawFinding, run_rules
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)"
+    r"#\s*repro-(lint|audit):\s*disable=([A-Za-z0-9_,\s-]+)"
 )
+
+#: A rule token is ``all`` or a rule id like ``RPR003``; anything else in
+#: a disable list (trailing prose, a justification) is ignored.
+_RULE_TOKEN_RE = re.compile(r"^(all|[A-Za-z]{2,4}\d{3})$", re.IGNORECASE)
 
 #: Directory names never descended into when walking a tree.
 _SKIP_DIRS = {
@@ -76,12 +84,22 @@ class Finding:
         }
 
 
-def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+def parse_suppressions(
+    source: str,
+    tool: str = "lint",
+    all_rules: Optional[Mapping[str, str]] = None,
+) -> Dict[int, Set[str]]:
     """Map line number -> rule ids disabled on that line.
 
-    The special token ``all`` yields the full rule set.  Tokenizing (not
+    ``tool`` selects the comment tag honored (``repro-lint:`` or
+    ``repro-audit:``); ``all_rules`` is the universe the special token
+    ``all`` expands to (defaults to the linter's rule table).  Rule
+    lists split on commas, tolerate surrounding whitespace
+    (``disable=RPR003, RPR007``), and drop any trailing prose after a
+    rule token rather than corrupting the token.  Tokenizing (not
     substring search) keeps the directive out of string literals.
     """
+    universe = RULES if all_rules is None else all_rules
     suppressed: Dict[int, Set[str]] = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -89,15 +107,22 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
             if tok.type != tokenize.COMMENT:
                 continue
             match = _SUPPRESS_RE.search(tok.string)
-            if not match:
+            if not match or match.group(1) != tool:
                 continue
             ids: Set[str] = set()
-            for part in match.group(1).split(","):
-                part = part.strip()
-                if part.lower() == "all":
-                    ids.update(RULES)
-                elif part:
-                    ids.add(part.upper())
+            for part in match.group(2).split(","):
+                words = part.split()
+                if not words:
+                    continue
+                # Only the first word of each comma-separated part can
+                # be a rule token; the rest is justification prose.
+                token = words[0]
+                if not _RULE_TOKEN_RE.match(token):
+                    continue
+                if token.lower() == "all":
+                    ids.update(universe)
+                else:
+                    ids.add(token.upper())
             suppressed.setdefault(tok.start[0], set()).update(ids)
     except tokenize.TokenError:
         pass  # rules still ran on whatever ast could parse
@@ -122,7 +147,22 @@ def lint_source(source: str, path: str) -> List[Finding]:
     raw = run_rules(tree, path=path)
     if not raw:
         return []
-    suppressed = parse_suppressions(source)
+    return assemble_findings(raw, source, path, parse_suppressions(source))
+
+
+def assemble_findings(
+    raw: Sequence[RawFinding],
+    source: str,
+    path: str,
+    suppressed: Dict[int, Set[str]],
+) -> List[Finding]:
+    """Turn raw ``(line, col, rule, message)`` hits into :class:`Finding`\\ s.
+
+    Applies per-line suppressions, attaches the flagged line's text, and
+    stamps the occurrence index that makes fingerprints of duplicated
+    lines distinct.  Shared by the linter and the ``repro-audit``
+    dataflow passes so both tools get identical baseline semantics.
+    """
     lines = source.splitlines()
     counts: Dict[Tuple[str, str], int] = {}
     findings: List[Finding] = []
@@ -168,17 +208,24 @@ def lint_files(
 
 
 def iter_python_files(paths: Sequence[Path]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    The result is deduplicated and sorted by POSIX path string,
+    regardless of the order ``paths`` were given in or the order the
+    filesystem yields directory entries — so lint/audit findings (and
+    therefore baseline diffs) are stable across machines and
+    filesystems.
+    """
     out: Set[Path] = set()
     for path in paths:
         path = Path(path)
         if path.is_dir():
-            for sub in sorted(path.rglob("*.py")):
+            for sub in path.rglob("*.py"):
                 if not any(part in _SKIP_DIRS for part in sub.parts):
                     out.add(sub)
         elif path.suffix == ".py":
             out.add(path)
-    return sorted(out)
+    return sorted(out, key=lambda p: p.as_posix())
 
 
 def lint_paths(

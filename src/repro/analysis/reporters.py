@@ -1,16 +1,18 @@
-"""Text and JSON reporters for ``repro-lint``."""
+"""Text and JSON reporters shared by ``repro-lint`` and ``repro-audit``."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from .baseline import BaselineDiff
 from .linter import Finding
 from .rules import RULES
 
 
-def render_text(diff: BaselineDiff, show_known: bool = False) -> str:
+def render_text(
+    diff: BaselineDiff, show_known: bool = False, tool: str = "repro-lint"
+) -> str:
     """GCC-style one-line-per-finding report plus a summary footer."""
     lines: List[str] = []
     for finding in diff.new:
@@ -39,7 +41,7 @@ def render_text(diff: BaselineDiff, show_known: bool = False) -> str:
             )
     lines.append("")
     lines.append(
-        f"repro-lint: {len(diff.new)} new, {len(diff.known)} baselined, "
+        f"{tool}: {len(diff.new)} new, {len(diff.known)} baselined, "
         f"{len(diff.expired)} expired"
     )
     return "\n".join(lines)
@@ -61,9 +63,10 @@ def render_json(diff: BaselineDiff) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def render_rules() -> str:
-    """The rule catalogue, for ``repro-lint --list-rules``."""
+def render_rules(rules: Optional[Mapping[str, str]] = None) -> str:
+    """The rule catalogue, for ``repro-lint``/``repro-audit`` list-rules."""
+    table = RULES if rules is None else rules
     lines = []
-    for rule_id in sorted(RULES):
-        lines.append(f"{rule_id}  {RULES[rule_id]}")
+    for rule_id in sorted(table):
+        lines.append(f"{rule_id}  {table[rule_id]}")
     return "\n".join(lines)

@@ -123,7 +123,7 @@ class FifoResource:
         if self._in_use < self.capacity and not self._waiters:
             self._grant(ev, self.sim.now)
         else:
-            self._waiters.append((ev, self.sim.now))
+            self._waiters.append((ev, self.sim.now))  # repro-audit: disable=RPR022 -- waiter pair (request, enqueue time) backs FIFO fairness
             if len(self._waiters) > self.queue_hwm:
                 self.queue_hwm = len(self._waiters)
         return ev
@@ -282,7 +282,7 @@ class Store:
         ev.key = (
             self._delivery_seq
             if ev.key is None
-            else (ev.key, self._delivery_seq)
+            else (ev.key, self._delivery_seq)  # repro-audit: disable=RPR022 -- sanitizer tiebreak stamp, sanctioned per delivery
         )
 
     def cancel_get(self, ev: Event) -> None:

@@ -141,6 +141,46 @@ class TestCli:
         for rule in ("RPR001", "RPR008"):
             assert rule in out
 
+    def test_list_rules_positional_matches_flag(self, capsys):
+        assert main(["--list-rules"]) == 0
+        flag_out = capsys.readouterr().out
+        assert main(["list-rules"]) == 0
+        assert capsys.readouterr().out == flag_out
+
+
+class TestBaselineLineDrift:
+    """The committed baseline keys on content, never line numbers."""
+
+    def write(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        return path
+
+    def baseline_for(self, tmp_path):
+        baseline = tmp_path / "b.json"
+        main(
+            [
+                str(tmp_path),
+                "--baseline", str(baseline),
+                "--update-baseline",
+            ]
+        )
+        return baseline
+
+    def test_moved_line_stays_baselined(self, tmp_path):
+        mod = self.write(tmp_path, DIRTY)
+        baseline = self.baseline_for(tmp_path)
+        mod.write_text("# leading comment\n\n\n" + DIRTY)
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+    def test_edited_line_resurfaces(self, tmp_path):
+        mod = self.write(tmp_path, DIRTY)
+        baseline = self.baseline_for(tmp_path)
+        mod.write_text(
+            DIRTY.replace("time.time()", "float(time.time())")
+        )
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+
 
 class TestAcceptance:
     """The ISSUE's acceptance probe: seed hazards into a scratch copy of

@@ -48,6 +48,46 @@ class TestParseSuppressions:
         )
         assert sup == {2: {"RPR004"}}
 
+    def test_comma_space_separated_list(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=RPR003, RPR007\n"
+        )
+        assert sup == {1: {"RPR003", "RPR007"}}
+
+    def test_trailing_prose_does_not_corrupt_the_list(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=RPR003, RPR007 -- sanctioned\n"
+        )
+        assert sup == {1: {"RPR003", "RPR007"}}
+
+    def test_prose_only_part_is_dropped(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=RPR003, see ROADMAP\n"
+        )
+        assert sup == {1: {"RPR003"}}
+
+    def test_audit_tag_ignored_by_lint_parse(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-audit: disable=RPR022\n"
+        )
+        assert sup == {}
+
+    def test_lint_tag_ignored_by_audit_parse(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=RPR001\n",
+            tool="audit",
+            all_rules={"RPR022": "alloc"},
+        )
+        assert sup == {}
+
+    def test_audit_all_expands_against_audit_universe(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-audit: disable=all\n",
+            tool="audit",
+            all_rules={"RPR022": "alloc", "RPR023": "rng"},
+        )
+        assert sup == {1: {"RPR022", "RPR023"}}
+
 
 class TestFingerprints:
     def test_line_number_free(self):
@@ -140,3 +180,22 @@ class TestFileWalking:
             [tmp_path / "b.py", tmp_path / "a.py"], root=tmp_path
         )
         assert [f.path for f in findings] == ["a.py", "b.py"]
+
+    def test_walk_order_is_sorted_posix_paths(self, tmp_path):
+        """iter_python_files is deterministic regardless of FS order."""
+        for rel in ("zeta.py", "alpha.py", "pkg/inner.py", "pkg/a.py"):
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert files == sorted(files, key=lambda p: p.as_posix())
+        assert [p.name for p in files] == [
+            "alpha.py", "a.py", "inner.py", "zeta.py",
+        ]
+
+    def test_walk_order_stable_across_argument_order(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        forward = iter_python_files([tmp_path / "a.py", tmp_path / "b.py"])
+        reverse = iter_python_files([tmp_path / "b.py", tmp_path / "a.py"])
+        assert forward == reverse
